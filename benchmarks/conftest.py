@@ -1,0 +1,48 @@
+"""Benchmark fixtures: profiles and result persistence.
+
+Every figure/table benchmark runs its experiment harness at the *bench*
+profile (sized to keep the whole suite in minutes), prints the regenerated
+series, and writes it under ``benchmarks/results/`` for inspection.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import ExperimentProfile
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Reduced sweeps for benchmarking: full algorithm fidelity, fewer points.
+BENCH = ExperimentProfile(
+    name="bench",
+    densities=(1000.0, 5000.0, 25000.0),
+    repetitions=2,
+    pdd_probabilities=(0.2, 0.8),
+    mote_screams=400,
+    mote_smbytes=(5, 8, 10, 15, 20, 24),
+    exec_time_sweep=(5, 15, 30, 60),
+    skew_sweep_s=(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0),
+    id_scaling_sizes=(16, 36, 64, 100),
+    seed=20080617,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_profile() -> ExperimentProfile:
+    return BENCH
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Persist a rendered table under benchmarks/results/<name>.txt."""
+
+    def _save(name: str, table) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        rendered = table.render()
+        (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
+        print(f"\n{rendered}")
+
+    return _save

@@ -1,0 +1,53 @@
+"""Benches for the ablations (A1 truncated-K, A2 orderings, A3 seal rule)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    orderings_experiment,
+    seal_rule_experiment,
+    truncated_k_experiment,
+)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_a1_truncated_k(benchmark, bench_profile, save_table):
+    table = benchmark.pedantic(
+        truncated_k_experiment, args=(bench_profile,), rounds=1, iterations=1
+    )
+    save_table("a1_truncated_k", table)
+    last = table._rows[-1]  # K above ID: clean run
+    assert last[3] == "0" and last[4] == "0"
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_a2_orderings(benchmark, bench_profile, save_table):
+    table = benchmark.pedantic(
+        orderings_experiment, args=(bench_profile,), rounds=1, iterations=1
+    )
+    save_table("a2_orderings", table)
+    assert table.n_rows == 2
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_a3_seal_rule(benchmark, bench_profile, save_table):
+    table = benchmark.pedantic(
+        seal_rule_experiment, args=(bench_profile,), rounds=1, iterations=1
+    )
+    save_table("a3_seal_rule", table)
+    assert table.n_rows == len(bench_profile.pdd_probabilities)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_a4_uncompensated_skew(benchmark, bench_profile, save_table):
+    from repro.experiments.ablations import uncompensated_skew_experiment
+
+    table = benchmark.pedantic(
+        uncompensated_skew_experiment,
+        args=(bench_profile,),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("a4_uncompensated_skew", table)
+    # No damage below the critical skew; heavy edge loss far beyond it.
+    assert float(table._rows[0][1]) == 0.0
+    assert float(table._rows[-1][1]) > 50.0

@@ -1,0 +1,17 @@
+"""Bench for the approximation-ratio measurement (T5)."""
+
+import pytest
+
+from repro.experiments.approximation import approximation_experiment
+
+
+@pytest.mark.benchmark(group="theory")
+def test_t5_approximation_ratio(benchmark, bench_profile, save_table):
+    table = benchmark.pedantic(
+        approximation_experiment, args=(bench_profile,), rounds=1, iterations=1
+    )
+    save_table("t5_approximation", table)
+    for row in table._rows:
+        measured = float(row[2].split(" ±")[0])
+        bound = float(row[4])
+        assert 1.0 <= measured <= bound

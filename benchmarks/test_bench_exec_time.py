@@ -1,0 +1,51 @@
+"""Benches for the execution-time figures (E5/Fig8, E6/Fig9).
+
+The protocol executions are collected once; each figure prices the step
+tallies under its parameter sweep.  The benchmark cost is dominated by the
+actual FDD/PDD runs, as in the paper's GTNetS study.
+"""
+
+import pytest
+
+from repro.experiments.exec_time import (
+    clock_skew_experiment,
+    collect_tallies,
+    exec_time_experiment,
+    skew_tolerance,
+)
+
+
+@pytest.fixture(scope="module")
+def tallies(bench_profile):
+    return collect_tallies(bench_profile)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig8_exec_time_vs_size_and_diameter(
+    benchmark, bench_profile, tallies, save_table
+):
+    table = benchmark.pedantic(
+        exec_time_experiment,
+        args=(bench_profile, tallies),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig8_exec_time", table)
+    assert table.n_rows == len(bench_profile.exec_time_sweep)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig9_exec_time_vs_clock_skew(
+    benchmark, bench_profile, tallies, save_table
+):
+    table = benchmark.pedantic(
+        clock_skew_experiment,
+        args=(bench_profile, tallies),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig9_clock_skew", table)
+    # The paper's headline: PDD tolerates roughly 10x the skew FDD does.
+    fdd_tol = skew_tolerance(tallies.fdd[0])
+    pdd_tol = skew_tolerance(tallies.pdd[0])
+    assert pdd_tol > 2 * fdd_tol

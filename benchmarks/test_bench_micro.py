@@ -1,0 +1,95 @@
+"""Micro-benchmarks of the hot paths.
+
+These are the operations whose cost dominates any large-scale use of the
+library: SINR feasibility tests, incremental slot bookkeeping, SCREAM
+floods, leader elections, the centralized scheduler, and full protocol runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.fast_runtime import FastRuntime
+from repro.core.fdd import run_fdd
+from repro.core.pdd import run_pdd
+from repro.core.scream import scream_flood
+from repro.experiments.common import PAPER_PROTOCOL, grid_scenario
+from repro.scheduling.feasibility import SlotState
+from repro.scheduling.greedy_physical import greedy_physical
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return grid_scenario(2500.0, rep=0, seed=13)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_feasibility_check(benchmark, scenario):
+    model = scenario.network.model
+    links = scenario.links
+    senders = links.heads[:8]
+    receivers = links.tails[:8]
+    benchmark(model.is_feasible, senders, receivers)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_handshake_mask(benchmark, scenario):
+    model = scenario.network.model
+    links = scenario.links
+    benchmark(model.handshake_mask, links.heads[:12], links.tails[:12])
+
+
+@pytest.mark.benchmark(group="micro")
+def test_slotstate_try_add_sequence(benchmark, scenario):
+    model = scenario.network.model
+    links = scenario.links
+
+    def build_slot():
+        state = SlotState(model)
+        for k in range(links.n_links):
+            state.try_add(int(links.heads[k]), int(links.tails[k]))
+        return len(state)
+
+    benchmark(build_slot)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_scream_flood_64(benchmark, scenario):
+    adj = scenario.network.sens_adj
+    inputs = np.zeros(adj.shape[0], dtype=bool)
+    inputs[0] = True
+    benchmark(scream_flood, adj, inputs, 5)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_leader_election_64(benchmark, scenario):
+    runtime = FastRuntime.for_network(scenario.network, PAPER_PROTOCOL)
+    participating = np.ones(scenario.network.n_nodes, dtype=bool)
+    benchmark(runtime.leader_elect, participating)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_greedy_physical_64(benchmark, scenario):
+    benchmark(greedy_physical, scenario.links, scenario.network.model)
+
+
+@pytest.mark.benchmark(group="protocols")
+def test_fdd_full_run_64(benchmark, scenario):
+    def run():
+        runtime = FastRuntime.for_network(scenario.network, PAPER_PROTOCOL)
+        return run_fdd(scenario.links, runtime, PAPER_PROTOCOL, rng=1)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.terminated
+
+
+@pytest.mark.benchmark(group="protocols")
+def test_pdd_full_run_64(benchmark, scenario):
+    config = PAPER_PROTOCOL.with_p(0.2)
+
+    def run():
+        runtime = FastRuntime.for_network(scenario.network, config)
+        return run_pdd(scenario.links, runtime, config, rng=1)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.terminated

@@ -1,0 +1,28 @@
+"""Benches for the mote-testbed figures (E1/Fig4, E2/Fig5)."""
+
+import pytest
+
+from repro.experiments.mote_detection import (
+    mote_error_experiment,
+    mote_rssi_experiment,
+)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig4_detection_error_vs_size(benchmark, bench_profile, save_table):
+    table = benchmark.pedantic(
+        mote_error_experiment, args=(bench_profile,), rounds=1, iterations=1
+    )
+    save_table("fig4_mote_error", table)
+    errors = [float(row[2]) for row in table._rows]
+    # The paper's shape: rapid growth below 10 bytes, negligible above 20.
+    assert errors[0] > 50.0
+    assert errors[-1] < 5.0
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig5_rssi_moving_average(benchmark, bench_profile, save_table):
+    table = benchmark.pedantic(
+        mote_rssi_experiment, args=(bench_profile,), rounds=1, iterations=1
+    )
+    save_table("fig5_mote_rssi", table)

@@ -1,0 +1,31 @@
+"""Benches for the schedule-length figures (E3/Fig6 grid, E4/Fig7 uniform).
+
+Regenerates the paper's series — % improvement over the serialized schedule
+vs density for Centralized / FDD / PDD — and measures the end-to-end cost of
+producing each figure.
+"""
+
+import pytest
+
+from repro.experiments.schedule_quality import (
+    grid_schedule_experiment,
+    uniform_schedule_experiment,
+)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig6_grid_schedule_length(benchmark, bench_profile, save_table):
+    table = benchmark.pedantic(
+        grid_schedule_experiment, args=(bench_profile,), rounds=1, iterations=1
+    )
+    save_table("fig6_grid_schedule", table)
+    assert table.n_rows == len(bench_profile.densities)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig7_uniform_schedule_length(benchmark, bench_profile, save_table):
+    table = benchmark.pedantic(
+        uniform_schedule_experiment, args=(bench_profile,), rounds=1, iterations=1
+    )
+    save_table("fig7_uniform_schedule", table)
+    assert table.n_rows == len(bench_profile.densities)

@@ -1,0 +1,41 @@
+"""Benches for the analytical-result validations (T1, T2, T4)."""
+
+import pytest
+
+from repro.experiments.theory import (
+    complexity_experiment,
+    fdd_equivalence_experiment,
+    id_scaling_experiment,
+)
+
+
+@pytest.mark.benchmark(group="theory")
+def test_t1_id_scaling(benchmark, bench_profile, save_table):
+    table = benchmark.pedantic(
+        id_scaling_experiment, args=(bench_profile,), rounds=1, iterations=1
+    )
+    save_table("t1_id_scaling", table)
+    # Grid diameters achieve the Theorem 2 bound (tight case).
+    for row in table._rows:
+        assert float(row[1]) <= float(row[2]) + 1e-9
+
+
+@pytest.mark.benchmark(group="theory")
+def test_t2_fdd_equivalence(benchmark, bench_profile, save_table):
+    table = benchmark.pedantic(
+        fdd_equivalence_experiment, args=(bench_profile,), rounds=1, iterations=1
+    )
+    save_table("t2_fdd_equivalence", table)
+    for row in table._rows:
+        done, total = row[2].split("/")
+        assert done == total
+
+
+@pytest.mark.benchmark(group="theory")
+def test_t4_complexity_scaling(benchmark, bench_profile, save_table):
+    table = benchmark.pedantic(
+        complexity_experiment, args=(bench_profile,), rounds=1, iterations=1
+    )
+    save_table("t4_complexity", table)
+    ratios = [float(row[5]) for row in table._rows]
+    assert all(r < 10.0 for r in ratios)

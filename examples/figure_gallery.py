@@ -1,0 +1,86 @@
+"""Render the paper's figure shapes as terminal plots.
+
+Regenerates the data behind three of the paper's figures at quick fidelity
+and draws them with the built-in ASCII plotter — so the *curve shapes* the
+paper plots (detection-error knee, improvement vs density, flat-then-linear
+skew behaviour) are visible without matplotlib.
+
+Run:  python examples/figure_gallery.py
+"""
+
+import numpy as np
+
+from repro.analysis.asciiplot import AsciiPlot
+from repro.core.timing import TimingModel
+from repro.experiments.common import QUICK, grid_scenario
+from repro.experiments.exec_time import collect_tallies
+from repro.mote import run_detection_error_sweep
+from repro.scheduling import greedy_physical, improvement_over_linear
+from repro.core.pdd import pdd_on_network
+from repro.experiments.common import PAPER_PROTOCOL
+from repro.util.rng import spawn
+
+
+def fig4_detection_error() -> None:
+    sizes = [5, 6, 8, 10, 12, 15, 20, 24]
+    results = run_detection_error_sweep(sizes, n_screams=300, rng=1)
+    plot = AsciiPlot(
+        width=56, height=12, title="Fig.4-shape: SCREAM detection error vs size (bytes)"
+    )
+    plot.add_series("error %", sizes, [r.error_percent for r in results])
+    print(plot.render(), "\n")
+
+
+def fig6_grid_improvement() -> None:
+    densities = [1000.0, 2500.0, 5000.0, 10000.0, 25000.0]
+    central, pdd = [], []
+    for density in densities:
+        scenario = grid_scenario(density, rep=0, seed=5)
+        schedule = greedy_physical(scenario.links, scenario.network.model)
+        central.append(improvement_over_linear(schedule))
+        result = pdd_on_network(
+            scenario.network,
+            scenario.links,
+            PAPER_PROTOCOL.with_p(0.2),
+            rng=spawn(5, "pdd", density),
+        )
+        pdd.append(improvement_over_linear(result.schedule))
+    plot = AsciiPlot(
+        width=56,
+        height=12,
+        title="Fig.6-shape: %% improvement vs density (grid)",
+    )
+    plot.add_series("Centralized=FDD", densities, central)
+    plot.add_series("PDD p=0.2", densities, pdd)
+    print(plot.render(), "\n")
+
+
+def fig9_clock_skew() -> None:
+    tallies = collect_tallies(QUICK, density=2500.0)
+    skews = np.array([1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0])
+    fdd = [
+        TimingModel(skew_bound_s=s).execution_time(tallies.fdd[0]) for s in skews
+    ]
+    pdd = [
+        TimingModel(skew_bound_s=s).execution_time(tallies.pdd[0]) for s in skews
+    ]
+    plot = AsciiPlot(
+        width=56,
+        height=12,
+        log_x=True,
+        log_y=True,
+        title="Fig.9-shape: execution time vs clock skew (log-log)",
+    )
+    plot.add_series("FDD", skews, fdd)
+    plot.add_series("PDD p=0.2", skews, pdd)
+    print(plot.render())
+
+
+def main() -> None:
+    fig4_detection_error()
+    fig6_grid_improvement()
+    fig9_clock_skew()
+
+
+if __name__ == "__main__":
+    main()

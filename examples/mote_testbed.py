@@ -1,0 +1,76 @@
+"""The Mica2 mote SCREAM testbed (Section V), end to end.
+
+Reproduces both testbed figures — detection error vs SCREAM size and the
+monitor's RSSI moving-average trace — and then closes the loop the paper
+leaves implicit: it feeds the measured per-SCREAM miss probability into the
+protocol fault model and shows what an under-sized SCREAM does to a real
+schedule computation.
+
+Run:  python examples/mote_testbed.py
+"""
+
+import numpy as np
+
+from repro import FaultConfig, ProtocolConfig, verify_schedule
+from repro.analysis.tables import TextTable
+from repro.core.fdd import fdd_on_network
+from repro.experiments.common import grid_scenario
+from repro.mote import miss_probability, monitor_rssi_trace, run_detection_error_sweep
+
+SEED = 3
+
+
+def main() -> None:
+    # --- Figure "error vs size" ------------------------------------------
+    sizes = [5, 8, 10, 12, 15, 20, 24]
+    results = run_detection_error_sweep(sizes, n_screams=500, rng=SEED)
+    table = TextTable(
+        ["SMBytes", "detected", "interval error (%)"],
+        title="SCREAM detection on the 8-mote testbed (500 screams)",
+    )
+    for r in results:
+        table.add_row(r.smbytes, f"{r.detections}/{r.n_screams}", f"{r.error_percent:.1f}")
+    print(table.render())
+
+    # --- Figure "RSSI moving average" -------------------------------------
+    times, values = monitor_rssi_trace(smbytes=24, n_rounds=3, rng=SEED)
+    print("\nmonitor RSSI moving average (24-byte screams, 3 rounds):")
+    print(f"  {len(times)} logged samples over {times[-1]*1000:.0f} ms")
+    print(f"  baseline {np.median(values[values < -80]):.1f} dBm, "
+          f"peak {values.max():.1f} dBm, threshold -60 dBm")
+
+    # --- Closing the loop: physical reliability -> protocol health --------
+    print("\nprotocol impact of SCREAM sizing (64-node grid, FDD):")
+    scenario = grid_scenario(2500.0, rep=0, seed=SEED)
+    impact = TextTable(
+        ["SMBytes", "per-slot miss prob", "schedule valid", "multi-winner elections"]
+    )
+    for smbytes in (8, 15, 24):
+        miss = miss_probability(smbytes, n_trials=300, rng=SEED)
+        config = ProtocolConfig(
+            smbytes=smbytes, max_rounds=4 * scenario.total_demand
+        )
+        result = fdd_on_network(
+            scenario.network,
+            scenario.links,
+            config,
+            faults=FaultConfig(scream_miss_prob=miss),
+            rng=SEED,
+        )
+        report = verify_schedule(result.schedule, scenario.network.model)
+        impact.add_row(
+            smbytes,
+            f"{miss:.3f}",
+            "yes" if (report.ok and result.terminated) else "NO",
+            result.tally.multi_winner_elections,
+        )
+    print(impact.render())
+    print(
+        "\nReading: at 15+ bytes carrier sensing is reliable and the "
+        "distributed schedule is exact; under-sized screams make floods "
+        "lossy, elections split, and the verifier flags the damage."
+    )
+
+
+if __name__ == "__main__":
+    main()

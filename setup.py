@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so legacy ``pip install -e . --no-use-pep517`` works on environments
+whose setuptools predates PEP 660 editable installs (and lacks ``wheel``).
+"""
+
+from setuptools import setup
+
+setup()

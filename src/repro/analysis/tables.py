@@ -1,0 +1,68 @@
+"""Plain-text table rendering shared by all experiment harnesses.
+
+Every experiment prints the same rows/series the paper's figures plot, in a
+stable text format that diffs cleanly across runs and reads well in logs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+class TextTable:
+    """A fixed-column text table with alignment and title support."""
+
+    def __init__(self, columns: Sequence[str], title: str | None = None):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self._rows: list[list[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self._rows.append([_fmt(c) for c in cells])
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._rows)
+
+    def render(self) -> str:
+        widths = [
+            max(len(col), *(len(r[i]) for r in self._rows)) if self._rows else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(header))
+        lines.append(header)
+        lines.append(sep)
+        for row in self._rows:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_series(name: str, xs: Sequence[Any], ys: Sequence[Any]) -> str:
+    """One figure series as ``name: (x, y) (x, y) ...`` for compact logs."""
+    pairs = " ".join(f"({_fmt(x)}, {_fmt(y)})" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)

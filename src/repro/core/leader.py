@@ -1,0 +1,76 @@
+"""Leader election via bitwise SCREAM elimination (Section III-B).
+
+Nodes iterate over the bits of their unique IDs from most to least
+significant.  In each iteration a network-wide OR (SCREAM) of the current
+bit is computed; a node whose own bit is 0 while the OR is 1 is *voted out*
+and participates passively from then on.  After ``id_bits`` iterations the
+node(s) not voted out hold the maximum ID.
+
+With an exact SCREAM the winner is unique (IDs are unique).  With a
+truncated or faulty SCREAM, different regions can see different OR values
+and elect *multiple* leaders — the pathology quantified in the truncated-K
+ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+ScreamFn = Callable[[np.ndarray], np.ndarray]
+
+
+def leader_elect(
+    ids: np.ndarray,
+    participating: np.ndarray,
+    id_bits: int,
+    scream: ScreamFn,
+) -> np.ndarray:
+    """Run the election; return the boolean winner mask.
+
+    Parameters
+    ----------
+    ids:
+        Per-node unique non-negative integer identifiers.
+    participating:
+        Boolean mask of nodes contending for leadership.  Non-participants
+        behave exactly like the paper's ``LeaderElect(0)`` call: they relay
+        screams but never contribute a 1 bit and can never win.
+    id_bits:
+        Number of ID bits to iterate over (must cover the largest
+        participating ID).
+    scream:
+        The SCREAM primitive to use — one call per bit, each returning the
+        per-node OR result.  Injecting the primitive keeps this module
+        independent of the execution substrate (fast runtime, packet engine,
+        or the exact oracle in tests).
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean mask of elected nodes.  Exactly one True under an exact
+        SCREAM with unique IDs; possibly several under degraded SCREAMs;
+        all-False when nobody participates.
+    """
+    id_arr = np.asarray(ids, dtype=np.int64)
+    part = np.asarray(participating, dtype=bool)
+    if id_arr.shape != part.shape or id_arr.ndim != 1:
+        raise ValueError("ids and participating must be equal-length 1-D arrays")
+    if np.any(id_arr < 0):
+        raise ValueError("ids must be non-negative")
+    active_ids = id_arr[part]
+    if active_ids.size and int(active_ids.max()) >= (1 << id_bits):
+        raise ValueError(
+            f"id_bits={id_bits} cannot represent participating id "
+            f"{int(active_ids.max())}"
+        )
+
+    voted_out = ~part
+    for j in range(id_bits - 1, -1, -1):
+        bit = (id_arr >> j) & 1 == 1
+        contributes = bit & ~voted_out
+        result = np.asarray(scream(contributes), dtype=bool)
+        # A node is voted out when the OR is 1 but it did not contribute.
+        voted_out |= result & ~contributes
+    return part & ~voted_out

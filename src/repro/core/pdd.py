@@ -1,0 +1,76 @@
+"""PDD — the Partially Randomized Distributed Protocol (Section III-C).
+
+PDD's ``SelectActive`` is a local coin flip: every DORMANT node turns ACTIVE
+with probability ``p`` in each slot-construction step.  No communication is
+needed to select actives, which is why PDD runs substantially faster than
+FDD; the price is that concurrent actives can knock each other (and nothing
+retries within the round), costing some schedule quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import NO_FAULTS, FaultConfig, ProtocolConfig
+from repro.core.fast_runtime import FastRuntime
+from repro.core.protocol import ProtocolResult, run_protocol
+from repro.core.runtime import Runtime
+from repro.core.states import NodeState
+from repro.scheduling.links import LinkSet
+from repro.topology.network import Network
+from repro.util.rng import ensure_rng, spawn
+
+
+def make_pdd_select_active(p_active: float):
+    """Build PDD's probabilistic SelectActive strategy."""
+
+    def select_active(
+        state: np.ndarray, runtime: Runtime, rng: np.random.Generator
+    ) -> np.ndarray:
+        dormant = state == NodeState.DORMANT
+        coins = rng.random(state.shape[0]) < p_active
+        return dormant & coins
+
+    return select_active
+
+
+def run_pdd(
+    links: LinkSet,
+    runtime: Runtime,
+    config: ProtocolConfig,
+    rng: np.random.Generator | int | None = None,
+    record_rounds: bool = False,
+) -> ProtocolResult:
+    """Run PDD on an arbitrary runtime substrate."""
+    if config.p_active <= 0.0:
+        raise ValueError(
+            "PDD requires p_active > 0 (dormant nodes could otherwise "
+            "never be selected)"
+        )
+    return run_protocol(
+        links,
+        runtime,
+        config,
+        make_pdd_select_active(config.p_active),
+        rng=rng,
+        record_rounds=record_rounds,
+    )
+
+
+def pdd_on_network(
+    network: Network,
+    links: LinkSet,
+    config: ProtocolConfig | None = None,
+    faults: FaultConfig = NO_FAULTS,
+    rng: np.random.Generator | int | None = None,
+    record_rounds: bool = False,
+) -> ProtocolResult:
+    """Convenience wrapper: run PDD over a fresh FastRuntime on ``network``."""
+    cfg = config or ProtocolConfig()
+    root = ensure_rng(rng)
+    runtime = FastRuntime.for_network(
+        network, cfg, faults=faults, rng=spawn(root, "runtime")
+    )
+    return run_pdd(
+        links, runtime, cfg, rng=spawn(root, "protocol"), record_rounds=record_rounds
+    )

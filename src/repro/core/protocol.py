@@ -1,0 +1,302 @@
+"""The shared round machinery of PDD and FDD (Section III).
+
+Both protocols run the same main loop: elect a controller for the slot,
+greedily grow the slot's link set in steps (tentative actives, concurrent
+two-way handshakes, SCREAM veto), seal the slot, update demands, and release
+control when the controller's demand is met.  They differ only in
+``SelectActive`` — probabilistic for PDD, election-based for FDD — which is
+injected as a callable.
+
+The node state machine follows Figure 1 of the paper; the pseudocode
+ambiguities and our resolutions are documented in DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.config import ProtocolConfig
+from repro.core.events import StepTally
+from repro.core.runtime import Runtime
+from repro.core.states import NodeState
+from repro.scheduling.links import LinkSet
+from repro.scheduling.schedule import Schedule, Slot
+from repro.util.rng import ensure_rng
+
+#: SelectActive strategy: given (state array, runtime, rng), return the mask
+#: of nodes that turn ACTIVE this step.  Must only select DORMANT nodes.
+SelectActiveFn = Callable[[np.ndarray, Runtime, np.random.Generator], np.ndarray]
+
+#: Observer hook: called as ``observer(event, state_snapshot)`` at protocol
+#: checkpoints.  Events: "election", "slot-reset", "select", "handshake",
+#: "resolve", "seal", "demand-update", "terminate".  The snapshot is a copy;
+#: observers cannot perturb the run.
+ObserverFn = Callable[[str, np.ndarray], None]
+
+#: Hard cap on slot-construction steps; hitting it indicates a logic error
+#: (with any p_active > 0 every dormant node is eventually selected).
+MAX_STEPS_PER_SLOT = 100_000
+
+
+@dataclass
+class RoundRecord:
+    """Diagnostics for one protocol round (= one schedule slot)."""
+
+    controllers: tuple[int, ...]
+    members: tuple[int, ...]
+    steps: int
+
+
+@dataclass
+class ProtocolResult:
+    """Outcome of a full distributed protocol execution."""
+
+    schedule: Schedule
+    tally: StepTally
+    rounds: int
+    terminated: bool
+    round_records: list[RoundRecord] = field(default_factory=list)
+
+    @property
+    def schedule_length(self) -> int:
+        return self.schedule.length
+
+
+def run_protocol(
+    links: LinkSet,
+    runtime: Runtime,
+    config: ProtocolConfig,
+    select_active: SelectActiveFn,
+    rng: np.random.Generator | int | None = None,
+    record_rounds: bool = False,
+    observer: ObserverFn | None = None,
+) -> ProtocolResult:
+    """Execute the distributed scheduling main loop until termination.
+
+    Parameters
+    ----------
+    links:
+        Forest link set: one link per head node (the protocols' one-to-one
+        node/edge mapping).  ``links.ids`` must agree with the runtime's
+        per-node IDs on head nodes.
+    runtime:
+        Execution substrate providing scream / leader_elect / handshake.
+    config:
+        Protocol constants (K, id_bits, sealing rule, ...).
+    select_active:
+        The protocol-specific ``SelectActive`` strategy.
+    rng:
+        Randomness for the strategy (PDD's coin flips).
+    record_rounds:
+        Keep per-round diagnostics (controllers, members, step counts).
+    observer:
+        Optional hook receiving (event, state snapshot) at protocol
+        checkpoints; used by tests to validate Figure 1's state machine.
+
+    Returns
+    -------
+    ProtocolResult
+        The computed schedule (one slot per round), consumed step tally, and
+        diagnostics.  ``terminated`` is False only if the ``max_rounds``
+        safety cap fired.
+    """
+    n = runtime.n_nodes
+    generator = ensure_rng(rng)
+    _check_link_ids(links, runtime)
+
+    link_of_node = np.full(n, -1, dtype=np.intp)
+    for k, head in enumerate(links.heads):
+        link_of_node[head] = k
+
+    state = np.full(n, NodeState.COMPLETE, dtype=np.int8)
+    remaining = np.zeros(n, dtype=np.int64)
+    with_demand = links.heads[links.demand > 0]
+    state[with_demand] = NodeState.DORMANT
+    remaining[with_demand] = links.demand[links.demand > 0]
+
+    schedule = Schedule(link_set=links)
+    records: list[RoundRecord] = []
+    max_rounds = (
+        config.max_rounds
+        if config.max_rounds is not None
+        else 10 * max(links.total_demand, 1) + 10
+    )
+
+    released = True
+    terminated = False
+    rounds = 0
+    while rounds < max_rounds:
+        if released:
+            participating = state != NodeState.COMPLETE
+            winners = runtime.leader_elect(participating)
+            state[winners] = NodeState.CONTROL
+            runtime.sync()
+            term_view = runtime.scream(winners)
+            if not term_view.any():
+                state[:] = NodeState.TERMINATE
+                terminated = True
+                if observer is not None:
+                    observer("terminate", state.copy())
+                break
+            if observer is not None:
+                observer("election", state.copy())
+
+        members, steps = _greedy_schedule_slot(
+            state,
+            links,
+            link_of_node,
+            runtime,
+            config,
+            select_active,
+            generator,
+            observer,
+        )
+        rounds += 1
+        runtime.tally.rounds += 1
+        slot = Slot(links=[int(link_of_node[m]) for m in members])
+        schedule.slots.append(slot)
+
+        remaining[members] -= 1
+        controllers = np.flatnonzero(state == NodeState.CONTROL)
+        allocated = members[state[members] == NodeState.ALLOCATED]
+        state[allocated[remaining[allocated] <= 0]] = NodeState.COMPLETE
+
+        # Control-release SCREAM: the controller(s) scream satisfaction.
+        release_inputs = np.zeros(n, dtype=bool)
+        release_inputs[controllers[remaining[controllers] <= 0]] = True
+        runtime.sync()
+        release_view = runtime.scream(release_inputs)
+        released = bool(release_view.any())
+        if released:
+            done = controllers[remaining[controllers] <= 0]
+            pending = controllers[remaining[controllers] > 0]
+            state[done] = NodeState.COMPLETE
+            state[pending] = NodeState.DORMANT
+        if observer is not None:
+            observer("demand-update", state.copy())
+
+        if record_rounds:
+            records.append(
+                RoundRecord(
+                    controllers=tuple(int(c) for c in controllers),
+                    members=tuple(int(m) for m in members),
+                    steps=steps,
+                )
+            )
+
+    return ProtocolResult(
+        schedule=schedule,
+        tally=runtime.tally,
+        rounds=rounds,
+        terminated=terminated,
+        round_records=records,
+    )
+
+
+def _greedy_schedule_slot(
+    state: np.ndarray,
+    links: LinkSet,
+    link_of_node: np.ndarray,
+    runtime: Runtime,
+    config: ProtocolConfig,
+    select_active: SelectActiveFn,
+    rng: np.random.Generator,
+    observer: ObserverFn | None = None,
+) -> tuple[np.ndarray, int]:
+    """Grow one slot greedily; return (member nodes, construction steps).
+
+    Implements the ``GreedyScheduleSlot`` subroutine: every node outside
+    COMPLETE/CONTROL returns to DORMANT, then steps of
+    SelectActive -> handshake -> SCREAM veto -> SCREAM seal-check repeat
+    until no further actives can arise.
+    """
+    reset = (state != NodeState.COMPLETE) & (state != NodeState.CONTROL)
+    state[reset] = NodeState.DORMANT
+    if observer is not None:
+        observer("slot-reset", state.copy())
+
+    heads, tails = links.heads, links.tails
+    steps = 0
+    while True:
+        steps += 1
+        if steps > MAX_STEPS_PER_SLOT:
+            raise RuntimeError(
+                "slot construction exceeded the step cap; "
+                "SelectActive appears unable to drain the dormant pool"
+            )
+        runtime.tally.steps += 1
+
+        activated = select_active(state, runtime, rng)
+        state[activated] = NodeState.ACTIVE
+        if observer is not None:
+            observer("select", state.copy())
+
+        # Handshake time step: every tentative/confirmed slot member
+        # exercises its link concurrently.
+        runtime.sync()
+        hs_nodes = np.flatnonzero(
+            (state == NodeState.CONTROL)
+            | (state == NodeState.ALLOCATED)
+            | (state == NodeState.ACTIVE)
+        )
+        link_idx = link_of_node[hs_nodes]
+        success = runtime.handshake(heads[link_idx], tails[link_idx])
+        failed_nodes = hs_nodes[~success]
+
+        # Verification time step: confirmed members (ALLOCATED|CONTROL)
+        # scream their own handshake failure — veto power.
+        veto_inputs = np.zeros(state.shape[0], dtype=bool)
+        confirmed_failed = failed_nodes[
+            (state[failed_nodes] == NodeState.ALLOCATED)
+            | (state[failed_nodes] == NodeState.CONTROL)
+        ]
+        veto_inputs[confirmed_failed] = True
+        veto = runtime.scream(veto_inputs)
+        if confirmed_failed.size:
+            runtime.tally.veto_steps += 1
+
+        # Actives resolve: join unless their own handshake failed or they
+        # hear a veto (DESIGN.md §2 on the pseudocode's HSfail overwrite).
+        active_nodes = np.flatnonzero(state == NodeState.ACTIVE)
+        own_fail = np.isin(active_nodes, failed_nodes)
+        fail = own_fail | veto[active_nodes]
+        state[active_nodes[fail]] = NodeState.TRIED
+        state[active_nodes[~fail]] = NodeState.ALLOCATED
+        if observer is not None:
+            observer("resolve", state.copy())
+
+        # Seal-check SCREAM (DESIGN.md §2 on `stillActives`): by default a
+        # node contributes "I could still become active" (DORMANT); the
+        # alternative reading contributes "I was active this step".
+        if config.seal_on_idle_step:
+            contrib = np.zeros(state.shape[0], dtype=bool)
+            contrib[active_nodes] = True
+        else:
+            contrib = state == NodeState.DORMANT
+        runtime.sync()
+        still = runtime.scream(contrib)
+        if not still.any():
+            if observer is not None:
+                observer("seal", state.copy())
+            break
+
+    members = np.flatnonzero(
+        (state == NodeState.ALLOCATED) | (state == NodeState.CONTROL)
+    )
+    return members, steps
+
+
+def _check_link_ids(links: LinkSet, runtime: Runtime) -> None:
+    """Links' head IDs must agree with the runtime's node IDs (elections)."""
+    runtime_ids = getattr(runtime, "ids", None)
+    if runtime_ids is None:
+        return
+    expected = np.asarray(runtime_ids)[links.heads]
+    if not np.array_equal(expected, links.ids):
+        raise ValueError(
+            "LinkSet ids disagree with runtime node ids on head nodes; "
+            "leader election and edge ordering would diverge"
+        )

@@ -1,0 +1,61 @@
+"""The Runtime interface: the execution substrate of the distributed protocols.
+
+PDD and FDD are written once, against this interface; substrates implement
+the three network-wide primitives with different fidelity/performance
+trade-offs:
+
+* :class:`~repro.core.fast_runtime.FastRuntime` — vectorized, slot-faithful
+  (used by experiments);
+* :class:`~repro.simulation.packet_runtime.PacketRuntime` — per-node
+  generator programs over the packet-level medium (used for validation).
+
+Every primitive also accounts the synchronized steps it consumes in a
+:class:`~repro.core.events.StepTally`, from which execution time is priced.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.events import StepTally
+
+
+class Runtime(ABC):
+    """Execution substrate for the distributed scheduling protocols."""
+
+    def __init__(self) -> None:
+        self.tally = StepTally()
+
+    @property
+    @abstractmethod
+    def n_nodes(self) -> int:
+        """Number of nodes participating in the protocol."""
+
+    @abstractmethod
+    def scream(self, inputs: np.ndarray) -> np.ndarray:
+        """One SCREAM invocation (K slots); returns per-node OR results."""
+
+    @abstractmethod
+    def leader_elect(self, participating: np.ndarray) -> np.ndarray:
+        """Bitwise leader election among ``participating``; winner mask."""
+
+    @abstractmethod
+    def handshake(self, senders: np.ndarray, receivers: np.ndarray) -> np.ndarray:
+        """Concurrent two-way handshakes; per-link success mask.
+
+        All listed links transmit their data packets in the same data
+        sub-slot and their ACKs in the same ACK sub-slot; link ``k``
+        succeeds iff both its packets decode under the concurrent SINR.
+        """
+
+    def sync(self) -> None:
+        """One bare GlobalSync barrier."""
+        self.tally.add_sync()
+
+    def reset_tally(self) -> StepTally:
+        """Return the current tally and start a fresh one."""
+        finished = self.tally
+        self.tally = StepTally()
+        return finished

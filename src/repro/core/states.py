@@ -1,0 +1,47 @@
+"""Protocol node states (Figure 1 of the paper) and legal transitions."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class NodeState(IntEnum):
+    """The mutually exclusive states of a PDD/FDD node.
+
+    Values are stable (used in numpy state arrays):
+
+    * ``DORMANT`` — not yet picked into any active subset this slot;
+    * ``CONTROL`` — controller of the current slot (won leader election);
+    * ``ACTIVE`` — tentatively included in the current slot this step;
+    * ``ALLOCATED`` — included in the current slot;
+    * ``TRIED`` — failed its handshake this slot; excluded until next round;
+    * ``COMPLETE`` — all demand satisfied (gateways start here);
+    * ``TERMINATE`` — the protocol has globally terminated.
+    """
+
+    DORMANT = 0
+    CONTROL = 1
+    ACTIVE = 2
+    ALLOCATED = 3
+    TRIED = 4
+    COMPLETE = 5
+    TERMINATE = 6
+
+
+#: Transitions allowed by Figure 1 (plus the implicit ACTIVE->DORMANT reset
+#: at round boundaries).  Used by tests to validate recorded state traces.
+ALLOWED_TRANSITIONS: frozenset[tuple[NodeState, NodeState]] = frozenset(
+    {
+        (NodeState.DORMANT, NodeState.CONTROL),  # win leader election
+        (NodeState.DORMANT, NodeState.ACTIVE),  # selected as active
+        (NodeState.ACTIVE, NodeState.ALLOCATED),  # successful handshake
+        (NodeState.ACTIVE, NodeState.TRIED),  # failed handshake
+        (NodeState.ALLOCATED, NodeState.DORMANT),  # new slot considered
+        (NodeState.ALLOCATED, NodeState.COMPLETE),  # demand satisfied
+        (NodeState.TRIED, NodeState.DORMANT),  # new slot considered
+        (NodeState.TRIED, NodeState.CONTROL),  # win election next round
+        (NodeState.CONTROL, NodeState.COMPLETE),  # demand satisfied
+        (NodeState.COMPLETE, NodeState.TERMINATE),  # all nodes complete
+        (NodeState.DORMANT, NodeState.TERMINATE),
+    }
+)

@@ -1,0 +1,65 @@
+"""Experiment harnesses: one runner per paper figure/table.
+
+Each harness regenerates the rows/series of one evaluation artifact of the
+paper (see DESIGN.md §4 for the index) and renders them as text tables.
+Run them all with ``python -m repro.experiments all`` or individually, e.g.
+``python -m repro.experiments grid``.
+"""
+
+from repro.experiments.common import (
+    ExperimentProfile,
+    QUICK,
+    FULL,
+    grid_scenario,
+    uniform_scenario,
+    Scenario,
+)
+from repro.experiments.schedule_quality import (
+    grid_schedule_experiment,
+    uniform_schedule_experiment,
+)
+from repro.experiments.exec_time import (
+    exec_time_experiment,
+    clock_skew_experiment,
+)
+from repro.experiments.mote_detection import (
+    mote_error_experiment,
+    mote_rssi_experiment,
+)
+from repro.experiments.theory import (
+    id_scaling_experiment,
+    fdd_equivalence_experiment,
+    impossibility_demo,
+    complexity_experiment,
+)
+from repro.experiments.approximation import approximation_experiment
+from repro.experiments.ablations import (
+    truncated_k_experiment,
+    orderings_experiment,
+    seal_rule_experiment,
+    uncompensated_skew_experiment,
+)
+
+__all__ = [
+    "ExperimentProfile",
+    "QUICK",
+    "FULL",
+    "grid_scenario",
+    "uniform_scenario",
+    "Scenario",
+    "grid_schedule_experiment",
+    "uniform_schedule_experiment",
+    "exec_time_experiment",
+    "clock_skew_experiment",
+    "mote_error_experiment",
+    "mote_rssi_experiment",
+    "id_scaling_experiment",
+    "fdd_equivalence_experiment",
+    "impossibility_demo",
+    "complexity_experiment",
+    "approximation_experiment",
+    "truncated_k_experiment",
+    "orderings_experiment",
+    "seal_rule_experiment",
+    "uncompensated_skew_experiment",
+]

@@ -1,0 +1,147 @@
+"""Shared experiment machinery: the paper's scenarios and sweep profiles.
+
+Section VI-A setup: 64 nodes, 4 gateways, per-node demand ~ U[1, 10],
+demand aggregated along nearest-gateway routes, density varied by scaling
+the area with the node count fixed, SCREAM size 15 bytes, interference
+diameter (K) 5, results with 95% confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import ProtocolConfig
+from repro.routing import (
+    aggregate_demand,
+    build_routing_forest,
+    planned_gateways,
+    random_gateways,
+    uniform_node_demand,
+)
+from repro.scheduling.links import LinkSet, forest_link_set
+from repro.topology.network import Network, grid_network, uniform_network
+from repro.util.rng import DEFAULT_SEED, spawn
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One concrete instance: a deployed network plus the links to schedule."""
+
+    network: Network
+    links: LinkSet
+    gateways: np.ndarray
+    label: str
+
+    @property
+    def total_demand(self) -> int:
+        return self.links.total_demand
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Sweep sizes for an experiment run (full fidelity vs quick smoke)."""
+
+    name: str
+    densities: tuple[float, ...] = (1000, 2500, 5000, 10000, 15000, 20000, 25000)
+    repetitions: int = 5
+    pdd_probabilities: tuple[float, ...] = (0.2, 0.6, 0.8)
+    mote_screams: int = 2000
+    mote_smbytes: tuple[int, ...] = (5, 6, 8, 10, 12, 15, 20, 24, 30)
+    exec_time_sweep: tuple[int, ...] = (5, 10, 15, 20, 30, 40, 50, 60)
+    skew_sweep_s: tuple[float, ...] = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+    id_scaling_sizes: tuple[int, ...] = (16, 36, 64, 100, 144, 196)
+    seed: int = DEFAULT_SEED
+
+
+FULL = ExperimentProfile(name="full")
+
+QUICK = ExperimentProfile(
+    name="quick",
+    densities=(1000, 5000, 25000),
+    repetitions=2,
+    pdd_probabilities=(0.2, 0.8),
+    mote_screams=200,
+    mote_smbytes=(5, 8, 10, 15, 24),
+    exec_time_sweep=(5, 15, 30, 60),
+    skew_sweep_s=(1e-6, 1e-4, 1e-2, 1.0),
+    id_scaling_sizes=(16, 36, 64),
+)
+
+#: The paper's protocol constants (Section VI-A).
+PAPER_PROTOCOL = ProtocolConfig(k=5, smbytes=15, id_bits=8)
+
+
+def grid_scenario(
+    density_per_km2: float,
+    rep: int,
+    seed: int = DEFAULT_SEED,
+    rows: int = 8,
+    cols: int = 8,
+    n_gateways: int = 4,
+    demand_range: tuple[int, int] = (1, 10),
+) -> Scenario:
+    """The planned scenario: grid placement, planned gateways.
+
+    The topology is deterministic given the density; routing tie-breaks and
+    demands vary with the repetition index.
+    """
+    network = grid_network(rows, cols, density_per_km2=density_per_km2)
+    gws = planned_gateways(rows, cols, n_gateways)
+    forest = build_routing_forest(
+        network.comm_adj, gws, rng=spawn(seed, "grid-forest", int(density_per_km2), rep)
+    )
+    demand = uniform_node_demand(
+        network.n_nodes,
+        spawn(seed, "grid-demand", int(density_per_km2), rep),
+        low=demand_range[0],
+        high=demand_range[1],
+        gateways=gws,
+    )
+    links = forest_link_set(forest, aggregate_demand(forest, demand))
+    return Scenario(
+        network=network,
+        links=links,
+        gateways=gws,
+        label=f"grid d={density_per_km2:g} rep={rep}",
+    )
+
+
+def uniform_scenario(
+    density_per_km2: float,
+    rep: int,
+    seed: int = DEFAULT_SEED,
+    n_nodes: int = 64,
+    n_gateways: int = 4,
+    demand_range: tuple[int, int] = (1, 10),
+) -> Scenario:
+    """The unplanned scenario: uniform placement, heterogeneous power,
+    random gateways."""
+    network = uniform_network(
+        n_nodes,
+        density_per_km2=density_per_km2,
+        rng=spawn(seed, "uniform-net", int(density_per_km2), rep),
+    )
+    gws = random_gateways(
+        n_nodes, n_gateways, spawn(seed, "uniform-gw", int(density_per_km2), rep)
+    )
+    forest = build_routing_forest(
+        network.comm_adj,
+        gws,
+        rng=spawn(seed, "uniform-forest", int(density_per_km2), rep),
+    )
+    demand = uniform_node_demand(
+        n_nodes,
+        spawn(seed, "uniform-demand", int(density_per_km2), rep),
+        low=demand_range[0],
+        high=demand_range[1],
+        gateways=gws,
+    )
+    links = forest_link_set(forest, aggregate_demand(forest, demand))
+    return Scenario(
+        network=network,
+        links=links,
+        gateways=gws,
+        label=f"uniform d={density_per_km2:g} rep={rep}",
+    )

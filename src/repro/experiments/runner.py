@@ -1,0 +1,161 @@
+"""Command-line entry point: regenerate any (or all) paper artifacts.
+
+Usage::
+
+    python -m repro.experiments <name>... [--profile quick|full] [--out DIR]
+    python -m repro.experiments all --profile quick
+
+Each experiment prints its table and, when ``--out`` is given, also writes
+``<out>/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.analysis.tables import TextTable
+from repro.experiments import (
+    ablations,
+    approximation,
+    exec_time,
+    mote_detection,
+    schedule_quality,
+    theory,
+)
+from repro.experiments.common import FULL, QUICK, ExperimentProfile
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentProfile], TextTable]]] = {
+    "grid": (
+        "E3/Fig6 — schedule-length improvement vs density (planned grid)",
+        schedule_quality.grid_schedule_experiment,
+    ),
+    "uniform": (
+        "E4/Fig7 — schedule-length improvement vs density (unplanned uniform)",
+        schedule_quality.uniform_schedule_experiment,
+    ),
+    "exec-time": (
+        "E5/Fig8 — execution time vs SCREAM size and interference diameter",
+        exec_time.exec_time_experiment,
+    ),
+    "clock-skew": (
+        "E6/Fig9 — execution time vs clock-skew bound",
+        exec_time.clock_skew_experiment,
+    ),
+    "mote-error": (
+        "E1/Fig4 — SCREAM detection error vs SCREAM size (mote testbed)",
+        mote_detection.mote_error_experiment,
+    ),
+    "mote-rssi": (
+        "E2/Fig5 — monitor RSSI moving average (mote testbed)",
+        mote_detection.mote_rssi_experiment,
+    ),
+    "id-scaling": (
+        "T1/Thm2+3 — interference-diameter scaling vs bounds",
+        theory.id_scaling_experiment,
+    ),
+    "fdd-equivalence": (
+        "T2/Thm4 — FDD == GreedyPhysical slot-by-slot",
+        theory.fdd_equivalence_experiment,
+    ),
+    "impossibility": (
+        "T3/Thm1 — localized scheduling impossibility construction",
+        lambda profile: theory.impossibility_demo(),
+    ),
+    "complexity": (
+        "T4/Thm5 — FDD step-count scaling vs O(TD*ID*n*log n)",
+        theory.complexity_experiment,
+    ),
+    "approximation": (
+        "T5/Thm4 — measured greedy/optimal ratio vs the approximation bound",
+        approximation.approximation_experiment,
+    ),
+    "truncated-k": (
+        "A1 — protocol health under K < ID(GS)",
+        ablations.truncated_k_experiment,
+    ),
+    "orderings": (
+        "A2 — GreedyPhysical edge-ordering ablation",
+        ablations.orderings_experiment,
+    ),
+    "seal-rule": (
+        "A3 — PDD slot-sealing rule ablation",
+        ablations.seal_rule_experiment,
+    ),
+    "uncompensated-skew": (
+        "A4 — protocol damage when clock skew is not compensated",
+        ablations.uncompensated_skew_experiment,
+    ),
+}
+
+
+def run_experiment(
+    name: str, profile: ExperimentProfile, out_dir: Path | None = None
+) -> TextTable:
+    """Run one experiment by name; print and optionally persist the table."""
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    description, fn = EXPERIMENTS[name]
+    started = time.perf_counter()
+    table = fn(profile)
+    elapsed = time.perf_counter() - started
+    rendered = table.render()
+    print(f"\n# {description}  [{elapsed:.1f}s, profile={profile.name}]")
+    print(rendered)
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{name}.txt").write_text(rendered + "\n")
+    return table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the SCREAM paper's tables and figures.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="+",
+        help=f"experiment names or 'all'; available: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=("quick", "full"),
+        default="full",
+        help="sweep fidelity (default: full)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory for .txt result files (default: print only)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="root seed for all randomness (default: the profile's seed)",
+    )
+    args = parser.parse_args(argv)
+    profile = FULL if args.profile == "full" else QUICK
+    if args.seed is not None:
+        from dataclasses import replace
+
+        profile = replace(profile, seed=args.seed)
+
+    names = list(EXPERIMENTS) if "all" in args.names else args.names
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+    for name in names:
+        run_experiment(name, profile, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

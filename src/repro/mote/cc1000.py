@@ -1,0 +1,79 @@
+"""CC1000 radio and Mica2 experiment constants.
+
+The Mica2's CC1000 runs at 38.4 kBaud with Manchester encoding, i.e. an
+effective 19.2 kbit/s — one byte takes ~417 µs on air, so the paper's
+SCREAM sizes (5-30 bytes) correspond to bursts of ~2-12.5 ms.  RSSI is an
+analog output sampled through the mote ADC; the sampling cadence (plus the
+software loop) is what limits how short a burst remains detectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class CC1000:
+    """Timing constants of the CC1000/Mica2 as used by the SCREAM code.
+
+    Attributes
+    ----------
+    effective_bitrate_bps:
+        Payload bitrate (38.4 kBaud Manchester = 19.2 kbit/s).
+    rssi_sample_period_s:
+        Period between successive RSSI samples available to the software
+        (ADC conversion + read loop).
+    detect_processing_s:
+        Latency between a relay's detecting sample and the start of its own
+        re-scream (software turn-around).
+    moving_average_window:
+        Samples in the monitor's RSSI moving average.  The paper notes the
+        *logged* average was only recorded every 3 samples due to UART
+        limits; the detector's window is the same order.
+    """
+
+    effective_bitrate_bps: float = 19_200.0
+    rssi_sample_period_s: float = 880e-6
+    detect_processing_s: float = 500e-6
+    moving_average_window: int = 7
+
+    def __post_init__(self) -> None:
+        check_positive("effective_bitrate_bps", self.effective_bitrate_bps)
+        check_positive("rssi_sample_period_s", self.rssi_sample_period_s)
+        check_non_negative("detect_processing_s", self.detect_processing_s)
+        if self.moving_average_window < 1:
+            raise ValueError("moving_average_window must be >= 1")
+
+    def burst_duration_s(self, smbytes: int) -> float:
+        """On-air duration of a SCREAM of ``smbytes`` bytes."""
+        if smbytes < 1:
+            raise ValueError(f"smbytes must be >= 1, got {smbytes}")
+        return 8.0 * smbytes / self.effective_bitrate_bps
+
+
+@dataclass(frozen=True)
+class MoteLinkBudget:
+    """Received power levels (dBm) between the experiment's mote roles.
+
+    The paper's geometry: Monitor and the six Relays form a clique;
+    the Initiator sits two (sensitivity-graph) hops from the Monitor — the
+    relays hear it well, the monitor does not.
+    """
+
+    initiator_at_relay_dbm: float = -55.0
+    initiator_at_monitor_dbm: float = -85.0
+    relay_at_relay_dbm: float = -55.0
+    relay_at_monitor_dbm: float = -55.0
+    noise_floor_dbm: float = -95.0
+    noise_sigma_db: float = 2.0
+    threshold_dbm: float = -60.0  # the paper's preconfigured threshold
+
+    def __post_init__(self) -> None:
+        check_non_negative("noise_sigma_db", self.noise_sigma_db)
+        if self.initiator_at_monitor_dbm >= self.threshold_dbm:
+            raise ValueError(
+                "the Initiator must not be directly detectable by the "
+                "Monitor (it is placed two hops away)"
+            )

@@ -1,0 +1,40 @@
+"""Physical-layer substrate: propagation, radio parameters, SINR feasibility.
+
+This subpackage implements the physical interference model the paper builds
+on (the two-sub-slot data + ACK variation of the model of Brar et al.,
+MobiCom 2006) together with the radio propagation models needed to
+instantiate it on concrete topologies.
+"""
+
+from repro.phy.units import dbm_to_mw, mw_to_dbm, db_to_linear, linear_to_db
+from repro.phy.propagation import (
+    PropagationModel,
+    FreeSpace,
+    LogDistancePathLoss,
+    LogNormalShadowing,
+)
+from repro.phy.radio import RadioConfig
+from repro.phy.gain import received_power_matrix, gain_matrix
+from repro.phy.sinr import sinr_for_links, min_sinr_margin
+from repro.phy.interference import (
+    PhysicalInterferenceModel,
+    link_feasible_alone,
+)
+
+__all__ = [
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "db_to_linear",
+    "linear_to_db",
+    "PropagationModel",
+    "FreeSpace",
+    "LogDistancePathLoss",
+    "LogNormalShadowing",
+    "RadioConfig",
+    "received_power_matrix",
+    "gain_matrix",
+    "sinr_for_links",
+    "min_sinr_margin",
+    "PhysicalInterferenceModel",
+    "link_feasible_alone",
+]

@@ -1,0 +1,56 @@
+"""Pairwise channel-gain and received-power matrices.
+
+These matrices are the central physical object in the reproduction: entry
+``P[i, j]`` of the received-power matrix is the power (mW) that node ``j``
+collects when node ``i`` transmits at its configured power.  Every SINR
+computation, carrier-sense test, and graph construction reads from them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.propagation import PropagationModel
+
+
+def distance_matrix(positions: np.ndarray) -> np.ndarray:
+    """Euclidean distance matrix from an ``(n, 2)`` position array."""
+    pos = np.asarray(positions, dtype=float)
+    if pos.ndim != 2 or pos.shape[1] != 2:
+        raise ValueError(f"positions must have shape (n, 2), got {pos.shape}")
+    deltas = pos[:, None, :] - pos[None, :, :]
+    return np.sqrt((deltas**2).sum(axis=2))
+
+
+def gain_matrix(positions: np.ndarray, model: PropagationModel) -> np.ndarray:
+    """Channel power-gain matrix ``G[i, j]`` for all node pairs.
+
+    Models carrying per-pair state (frozen shadowing, replayed archives)
+    expose ``pair_gain`` and are queried through it; pure distance-law
+    models are evaluated on the distance matrix.  The diagonal (self-gain,
+    zero distance) clamps to the reference gain and is never used for
+    communication.
+    """
+    dmat = distance_matrix(positions)
+    pair_gain = getattr(model, "pair_gain", None)
+    if pair_gain is not None:
+        return pair_gain(dmat)
+    return model.gain(dmat)
+
+
+def received_power_matrix(
+    positions: np.ndarray,
+    tx_power_mw: np.ndarray,
+    model: PropagationModel,
+) -> np.ndarray:
+    """Received-power matrix ``P[i, j] = tx_power[i] * gain(i, j)`` in mW."""
+    tx = np.asarray(tx_power_mw, dtype=float)
+    pos = np.asarray(positions, dtype=float)
+    if tx.ndim != 1 or tx.shape[0] != pos.shape[0]:
+        raise ValueError(
+            f"tx_power_mw must have one entry per node: got {tx.shape} powers "
+            f"for {pos.shape[0]} nodes"
+        )
+    if np.any(tx <= 0):
+        raise ValueError("transmit powers must be strictly positive")
+    return tx[:, None] * gain_matrix(pos, model)

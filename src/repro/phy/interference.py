@@ -1,0 +1,163 @@
+"""The paper's physical interference model with data/ACK sub-slots.
+
+A scheduling slot is divided into two sub-slots: all scheduled links send
+their *data* packets concurrently in the first sub-slot, and all their *ACKs*
+concurrently in the second.  A set of directed links ``{(u_k -> v_k)}`` is
+feasible iff for every link ``k``:
+
+* data sub-slot:  ``P_{v_k}(u_k) / (N + Σ_{j≠k} P_{v_k}(u_j)) >= β``
+* ACK sub-slot:   ``P_{u_k}(v_k) / (N + Σ_{j≠k} P_{u_k}(v_j)) >= β``
+
+i.e. data packets only interfere with data packets and ACKs only with ACKs
+(Section II of the paper, the sub-slot variation of the MobiCom'06 model).
+
+:class:`PhysicalInterferenceModel` binds a received-power matrix and a
+:class:`~repro.phy.radio.RadioConfig` together and is the single feasibility
+oracle shared by the centralized scheduler, the distributed protocol
+handshakes, and the schedule verifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy.radio import RadioConfig
+from repro.phy.sinr import sinr_for_links
+
+
+@dataclass(frozen=True)
+class PhysicalInterferenceModel:
+    """Feasibility oracle for concurrent link sets under physical interference.
+
+    Attributes
+    ----------
+    power:
+        ``(n, n)`` received-power matrix in mW.
+    radio:
+        Radio constants (``beta``, noise, carrier-sense threshold).
+    """
+
+    power: np.ndarray
+    radio: RadioConfig
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.power, dtype=float)
+        if p.ndim != 2 or p.shape[0] != p.shape[1]:
+            raise ValueError(f"power matrix must be square, got shape {p.shape}")
+        object.__setattr__(self, "power", p)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.power.shape[0]
+
+    def link_sinrs(
+        self, senders: np.ndarray, receivers: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-link (data, ACK) SINR arrays for a concurrent link set."""
+        snd = np.asarray(senders, dtype=np.intp)
+        rcv = np.asarray(receivers, dtype=np.intp)
+        data = sinr_for_links(self.power, snd, rcv, self.radio.noise_mw)
+        ack = sinr_for_links(self.power, rcv, snd, self.radio.noise_mw)
+        return data, ack
+
+    def feasible_mask(
+        self, senders: np.ndarray, receivers: np.ndarray
+    ) -> np.ndarray:
+        """Boolean per-link mask: does link ``k`` decode (data *and* ACK)?
+
+        Note this is the *per-link outcome when all listed links transmit*;
+        a slot is feasible only when the mask is all-True.  The distributed
+        handshake of the protocols observes exactly this mask (each link
+        learns only its own bit).
+        """
+        data, ack = self.link_sinrs(senders, receivers)
+        beta = self.radio.beta
+        return (data >= beta) & (ack >= beta)
+
+    def is_feasible(self, senders: np.ndarray, receivers: np.ndarray) -> bool:
+        """True iff *all* links in the set decode concurrently."""
+        mask = self.feasible_mask(senders, receivers)
+        return bool(mask.all())
+
+    def handshake_mask(
+        self, senders: np.ndarray, receivers: np.ndarray
+    ) -> np.ndarray:
+        """Per-link two-way handshake outcomes with *conditional* ACKs.
+
+        Unlike :meth:`feasible_mask` (which assumes every scheduled ACK is
+        on the air — the right worst case for slot feasibility), this models
+        the handshake as executed: a receiver that fails to decode the data
+        packet sends no ACK, so the ACK sub-slot only carries ACKs of links
+        whose data decoded.  For sets where all data packets decode the two
+        masks coincide; they can differ on infeasible sets, where absent
+        ACKs reduce ACK-sub-slot interference.
+        """
+        snd = np.asarray(senders, dtype=np.intp)
+        rcv = np.asarray(receivers, dtype=np.intp)
+        if snd.size == 0:
+            return np.zeros(0, dtype=bool)
+        beta = self.radio.beta
+        noise = self.radio.noise_mw
+
+        data_sinr = sinr_for_links(self.power, snd, rcv, noise)
+        data_ok = data_sinr >= beta
+
+        success = np.zeros(snd.shape, dtype=bool)
+        if data_ok.any():
+            ack_senders = rcv[data_ok]
+            ack_receivers = snd[data_ok]
+            ack_sinr = sinr_for_links(self.power, ack_senders, ack_receivers, noise)
+            success[data_ok] = ack_sinr >= beta
+        return success
+
+    def feasible_with_addition(
+        self,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        new_sender: int,
+        new_receiver: int,
+    ) -> bool:
+        """Would adding ``new_sender -> new_receiver`` keep the slot feasible?
+
+        Convenience used by the centralized greedy scheduler; equivalent to
+        re-testing the union (SINR feasibility is not incremental — adding a
+        link changes every other link's interference, so the full set must be
+        re-evaluated).
+        """
+        snd = np.append(np.asarray(senders, dtype=np.intp), new_sender)
+        rcv = np.append(np.asarray(receivers, dtype=np.intp), new_receiver)
+        return self.is_feasible(snd, rcv)
+
+    def sense_mask(self, transmitters: np.ndarray) -> np.ndarray:
+        """Which nodes carrier-sense activity given concurrent transmitters?
+
+        A node detects activity when the *sum* of received powers from all
+        transmitters exceeds the CS threshold.  Transmitting nodes are
+        reported as sensing (they know they transmit); half-duplex handling
+        is done by callers that need it.
+        """
+        tx = np.asarray(transmitters, dtype=np.intp)
+        total = np.zeros(self.n_nodes, dtype=float)
+        if tx.size:
+            total = self.power[tx, :].sum(axis=0)
+            total[tx] = np.inf  # own transmission always "sensed"
+        return total >= self.radio.cs_threshold_mw
+
+
+def link_feasible_alone(
+    model: PhysicalInterferenceModel, sender: int, receiver: int
+) -> bool:
+    """Does the link decode with zero interference (both directions)?
+
+    This is the communication-graph membership test of Section II: an edge
+    exists iff the data packet and the ACK both clear ``β`` against noise
+    alone.
+    """
+    p = model.power
+    noise = model.radio.noise_mw
+    beta = model.radio.beta
+    return bool(
+        p[sender, receiver] / noise >= beta and p[receiver, sender] / noise >= beta
+    )

@@ -1,0 +1,108 @@
+"""Radio configuration: transmit powers, noise floor, decode and CS thresholds.
+
+The paper assumes no transmit power control (each node uses a fixed level,
+possibly different per node — "heterogeneous power" in the unplanned
+scenario) and a carrier-sensing range at least as large as the communication
+range.  :class:`RadioConfig` gathers these per-network constants and derived
+quantities in one immutable value object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.phy.units import dbm_to_mw
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class RadioConfig:
+    """Physical-layer constants for one network.
+
+    Attributes
+    ----------
+    beta:
+        SINR decode threshold (linear ratio).  The paper's constant ``β``.
+    noise_mw:
+        Background noise power ``N`` in milliwatts.
+    cs_gamma:
+        Ratio ``r_CS / r_c`` between carrier-sense range and communication
+        range.  Carrier sensing detects strictly weaker signals than decoding;
+        with path-loss exponent ``alpha`` a range ratio ``γ`` corresponds to a
+        detection threshold ``γ^(-alpha)`` below the decode threshold.  The
+        paper's impossibility/diameter analysis uses ``γ = 1``; its 64-node
+        experiments use an interference diameter of 5 which corresponds to
+        ``γ ≈ 3`` on the 8x8 grid.
+    alpha:
+        Path-loss exponent used to convert ``cs_gamma`` into a power
+        threshold ratio (must match the propagation model's exponent).
+    """
+
+    beta: float = 10.0  # 10 dB decode threshold.
+    noise_mw: float = dbm_to_mw(-90.0)
+    cs_gamma: float = 3.0
+    alpha: float = 3.0
+
+    def __post_init__(self) -> None:
+        check_positive("beta", self.beta)
+        check_positive("noise_mw", self.noise_mw)
+        check_positive("cs_gamma", self.cs_gamma)
+        check_positive("alpha", self.alpha)
+        if self.beta <= 1.0:
+            raise ValueError(
+                "beta must exceed 1 (0 dB): sub-unity thresholds would let a "
+                f"radio decode two concurrent frames at once, got {self.beta}"
+            )
+        if self.cs_gamma < 1.0:
+            raise ValueError(
+                "cs_gamma must be >= 1 (carrier-sense range cannot be smaller "
+                f"than communication range), got {self.cs_gamma}"
+            )
+
+    @property
+    def decode_power_mw(self) -> float:
+        """Minimum received power that decodes with zero interference."""
+        return self.beta * self.noise_mw
+
+    @property
+    def cs_threshold_mw(self) -> float:
+        """Carrier-sense detection threshold in mW.
+
+        A node detects channel activity when total received power exceeds
+        this.  Derived from the decode threshold and ``cs_gamma`` through the
+        path-loss law: a signal decodable at range ``r`` is detectable at
+        range ``γ·r``.
+        """
+        return self.decode_power_mw / (self.cs_gamma**self.alpha)
+
+    def with_cs_gamma(self, cs_gamma: float) -> "RadioConfig":
+        """Return a copy with a different carrier-sense range ratio."""
+        return replace(self, cs_gamma=cs_gamma)
+
+
+def uniform_tx_power(n: int, power_dbm: float = 12.0) -> np.ndarray:
+    """Homogeneous transmit power vector (mW) for ``n`` nodes."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return np.full(n, dbm_to_mw(power_dbm), dtype=float)
+
+
+def heterogeneous_tx_power(
+    n: int,
+    rng: np.random.Generator,
+    low_dbm: float = 10.0,
+    high_dbm: float = 14.0,
+) -> np.ndarray:
+    """Per-node transmit powers drawn uniformly (in dBm) from a range.
+
+    Models the paper's "unplanned deployment with heterogeneous transmission
+    power".  Powers are fixed for the lifetime of the network (the paper
+    assumes no power control).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if high_dbm < low_dbm:
+        raise ValueError(f"high_dbm ({high_dbm}) must be >= low_dbm ({low_dbm})")
+    return dbm_to_mw(rng.uniform(low_dbm, high_dbm, size=n))

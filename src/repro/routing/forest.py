@@ -1,0 +1,159 @@
+"""Routing forest construction (Section II).
+
+Each non-gateway node joins the reverse tree ``RT`` of a nearest gateway:
+it picks, uniformly at random, a parent among its communication-graph
+neighbors that are one hop closer to a gateway ("minimum hop distance to the
+root, breaking ties randomly").  The union of the reverse trees is the
+routing forest ``RF``; every forest edge is a communication-graph edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class RoutingForest:
+    """A forest of reverse trees rooted at the gateways.
+
+    Attributes
+    ----------
+    parent:
+        ``(n,)`` int array; ``parent[v]`` is the next hop of ``v`` toward its
+        gateway, or ``-1`` when ``v`` is a gateway (tree root).
+    depth:
+        ``(n,)`` int array; hop distance to the root of ``v``'s tree.
+    gateways:
+        Sorted array of gateway node indices.
+    """
+
+    parent: np.ndarray
+    depth: np.ndarray
+    gateways: np.ndarray
+
+    def __post_init__(self) -> None:
+        parent = np.asarray(self.parent, dtype=np.intp)
+        depth = np.asarray(self.depth, dtype=np.intp)
+        gateways = np.asarray(self.gateways, dtype=np.intp)
+        if parent.shape != depth.shape or parent.ndim != 1:
+            raise ValueError("parent and depth must be equal-length 1-D arrays")
+        object.__setattr__(self, "parent", parent)
+        object.__setattr__(self, "depth", depth)
+        object.__setattr__(self, "gateways", gateways)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.parent.shape[0]
+
+    @cached_property
+    def edge_heads(self) -> np.ndarray:
+        """Non-gateway nodes, each the *head* (sender) of its tree edge.
+
+        The paper establishes a one-to-one mapping between non-root nodes and
+        forest edges; the node at higher depth (the child) owns the edge and
+        transmits on it toward its parent.
+        """
+        return np.flatnonzero(self.parent >= 0).astype(np.intp)
+
+    @cached_property
+    def root_of(self) -> np.ndarray:
+        """``(n,)`` array: the gateway at the root of each node's tree."""
+        roots = np.full(self.n_nodes, -1, dtype=np.intp)
+        for v in np.argsort(self.depth):
+            p = self.parent[v]
+            roots[v] = v if p < 0 else roots[p]
+        return roots
+
+    def children_lists(self) -> list[list[int]]:
+        """Adjacency lists child[] per node (tree edges pointing down)."""
+        children: list[list[int]] = [[] for _ in range(self.n_nodes)]
+        for v, p in enumerate(self.parent):
+            if p >= 0:
+                children[p].append(v)
+        return children
+
+    def route(self, source: int) -> list[int]:
+        """The node sequence from ``source`` up to its gateway (inclusive)."""
+        if not 0 <= source < self.n_nodes:
+            raise IndexError(f"node {source} out of range")
+        path = [source]
+        seen = {source}
+        while self.parent[path[-1]] >= 0:
+            nxt = int(self.parent[path[-1]])
+            if nxt in seen:
+                raise ValueError("routing forest contains a cycle")
+            path.append(nxt)
+            seen.add(nxt)
+        return path
+
+    def validate(self, comm_adj: np.ndarray | None = None) -> None:
+        """Check structural invariants; raise :class:`ValueError` if violated.
+
+        * gateways are exactly the parentless nodes;
+        * depths increase by one along parent edges;
+        * every tree edge is a communication edge (when ``comm_adj`` given).
+        """
+        roots = np.flatnonzero(self.parent < 0)
+        if not np.array_equal(np.sort(roots), np.sort(self.gateways)):
+            raise ValueError("gateways do not match parentless nodes")
+        if np.any(self.depth[self.gateways] != 0):
+            raise ValueError("gateway depths must be zero")
+        for v in self.edge_heads:
+            p = self.parent[v]
+            if self.depth[v] != self.depth[p] + 1:
+                raise ValueError(f"depth of {v} is not parent depth + 1")
+            if comm_adj is not None and not comm_adj[v, p]:
+                raise ValueError(f"tree edge ({v}, {p}) is not a communication edge")
+
+
+def build_routing_forest(
+    comm_adj: np.ndarray,
+    gateways: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+) -> RoutingForest:
+    """Build the routing forest by multi-source BFS from the gateways.
+
+    Every node's depth is its hop distance to the *nearest* gateway; its
+    parent is drawn uniformly at random among neighbors at depth one less
+    (this simultaneously resolves both tie kinds in the paper: which tree to
+    join and which minimal-hop parent to use).
+
+    Raises :class:`ValueError` if some node cannot reach any gateway.
+    """
+    adj = np.asarray(comm_adj, dtype=bool)
+    n = adj.shape[0]
+    gws = np.asarray(gateways, dtype=np.intp)
+    if gws.size == 0:
+        raise ValueError("at least one gateway is required")
+    if np.unique(gws).size != gws.size:
+        raise ValueError("gateway indices must be distinct")
+    if np.any((gws < 0) | (gws >= n)):
+        raise IndexError("gateway index out of range")
+    generator = ensure_rng(rng)
+
+    depth = np.full(n, -1, dtype=np.intp)
+    depth[gws] = 0
+    frontier = np.zeros(n, dtype=bool)
+    frontier[gws] = True
+    level = 0
+    while frontier.any():
+        reached = adj[frontier].any(axis=0) & (depth < 0)
+        level += 1
+        depth[reached] = level
+        frontier = reached
+    if np.any(depth < 0):
+        unreachable = np.flatnonzero(depth < 0).tolist()
+        raise ValueError(f"nodes {unreachable} cannot reach any gateway")
+
+    parent = np.full(n, -1, dtype=np.intp)
+    for v in range(n):
+        if depth[v] == 0:
+            continue
+        candidates = np.flatnonzero(adj[v] & (depth == depth[v] - 1))
+        parent[v] = int(generator.choice(candidates))
+    return RoutingForest(parent=parent, depth=depth, gateways=np.sort(gws))

@@ -1,0 +1,81 @@
+"""Gateway placement optimization (an operator-facing extension).
+
+The paper fixes gateway positions (planned grid slots or random nodes).
+Mesh operators get to *choose* them, and the natural objective — minimizing
+the maximum hop distance any node's traffic travels — is the k-center
+problem on the communication graph.  We provide the classic greedy
+2-approximation (farthest-point traversal) plus an exhaustive optimum for
+small instances, so the benefit of placement over random choice can be
+quantified (see the capacity-planning example).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.topology.diameter import hop_distance_matrix
+from repro.util.validation import check_integer_in_range
+
+
+def kcenter_gateways(
+    comm_adj: np.ndarray,
+    count: int,
+    first: int | None = None,
+) -> np.ndarray:
+    """Greedy k-center gateway placement (2-approximation).
+
+    Starts from ``first`` (default: a node minimizing eccentricity — a graph
+    center) and repeatedly adds the node farthest from the chosen set.
+
+    Returns sorted gateway indices.  Raises on disconnected graphs (hop
+    distances must be finite for the objective to make sense).
+    """
+    dist = hop_distance_matrix(comm_adj)
+    n = dist.shape[0]
+    check_integer_in_range("count", count, minimum=1, maximum=n)
+    if not np.isfinite(dist).all():
+        raise ValueError("k-center placement requires a connected graph")
+
+    if first is None:
+        first = int(np.argmin(dist.max(axis=1)))
+    chosen = [first]
+    best = dist[first].copy()
+    while len(chosen) < count:
+        nxt = int(np.argmax(best))
+        chosen.append(nxt)
+        best = np.minimum(best, dist[nxt])
+    return np.sort(np.asarray(chosen, dtype=np.intp))
+
+
+def coverage_radius(comm_adj: np.ndarray, gateways: np.ndarray) -> int:
+    """The k-center objective: max hop distance to the nearest gateway."""
+    dist = hop_distance_matrix(comm_adj)
+    gws = np.asarray(gateways, dtype=np.intp)
+    if gws.size == 0:
+        raise ValueError("at least one gateway required")
+    radius = dist[gws].min(axis=0).max()
+    if not np.isfinite(radius):
+        raise ValueError("some node cannot reach any gateway")
+    return int(radius)
+
+
+def optimal_gateways(comm_adj: np.ndarray, count: int) -> np.ndarray:
+    """Exhaustive k-center optimum (small n only: C(n, count) subsets)."""
+    dist = hop_distance_matrix(comm_adj)
+    n = dist.shape[0]
+    check_integer_in_range("count", count, minimum=1, maximum=n)
+    if not np.isfinite(dist).all():
+        raise ValueError("optimal placement requires a connected graph")
+    if n > 24:
+        raise ValueError(f"exhaustive placement is limited to n <= 24, got {n}")
+    best_subset: tuple[int, ...] | None = None
+    best_radius = np.inf
+    for subset in combinations(range(n), count):
+        radius = dist[list(subset)].min(axis=0).max()
+        if radius < best_radius:
+            best_radius = radius
+            best_subset = subset
+    assert best_subset is not None
+    return np.asarray(best_subset, dtype=np.intp)

@@ -1,0 +1,134 @@
+"""Incremental SINR feasibility bookkeeping for slot construction.
+
+Testing "can link e join this slot?" from scratch costs O(k²) in the number
+of member links; greedy schedulers perform that test once per (link, slot)
+pair, which dominates the centralized algorithm's running time.
+:class:`SlotState` maintains per-member interference sums so each test is
+O(k) and each accepted addition is O(k).
+
+The arithmetic mirrors :mod:`repro.phy.interference` exactly — a property
+test asserts the two always agree — but avoids rebuilding the full incidence
+matrix per test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.interference import PhysicalInterferenceModel
+from repro.scheduling.schedule import Schedule
+
+
+class SlotState:
+    """Mutable feasibility state of one slot under construction.
+
+    Tracks, for every member link ``k`` (sender ``s_k``, receiver ``r_k``):
+
+    * ``data_interf[k]`` — total interference power at ``r_k`` from the
+      *other* members' data transmissions;
+    * ``ack_interf[k]`` — total interference power at ``s_k`` from the
+      other members' ACK transmissions.
+
+    All powers in mW; thresholds from the bound interference model.
+    """
+
+    def __init__(self, model: PhysicalInterferenceModel):
+        self._model = model
+        self._power = model.power
+        self._noise = model.radio.noise_mw
+        self._beta = model.radio.beta
+        self.senders: list[int] = []
+        self.receivers: list[int] = []
+        self._data_interf: list[float] = []
+        self._ack_interf: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self.senders)
+
+    def members(self) -> tuple[np.ndarray, np.ndarray]:
+        """(senders, receivers) arrays of the current members."""
+        return (
+            np.asarray(self.senders, dtype=np.intp),
+            np.asarray(self.receivers, dtype=np.intp),
+        )
+
+    def can_add(self, sender: int, receiver: int) -> bool:
+        """Would the slot stay feasible if ``sender -> receiver`` joined?
+
+        Checks the new link's own data and ACK SINR against the members'
+        interference, and every member's updated SINR against the new link's
+        contribution.  The slot state is not modified.
+
+        Links sharing a node with a member are rejected outright: a
+        half-duplex node cannot transmit and receive in the same sub-slot
+        (this mirrors the SINR-level masking in
+        :func:`repro.phy.sinr.sinr_for_links`).
+        """
+        p = self._power
+        noise = self._noise
+        beta = self._beta
+
+        if sender == receiver:
+            return False
+        for s_k, r_k in zip(self.senders, self.receivers):
+            if sender in (s_k, r_k) or receiver in (s_k, r_k):
+                return False
+
+        new_data_interf = 0.0
+        new_ack_interf = 0.0
+        for s_k, r_k in zip(self.senders, self.receivers):
+            new_data_interf += p[s_k, receiver]
+            new_ack_interf += p[r_k, sender]
+        if p[sender, receiver] < beta * (noise + new_data_interf):
+            return False
+        if p[receiver, sender] < beta * (noise + new_ack_interf):
+            return False
+
+        for k, (s_k, r_k) in enumerate(zip(self.senders, self.receivers)):
+            data_interf = self._data_interf[k] + p[sender, r_k]
+            if p[s_k, r_k] < beta * (noise + data_interf):
+                return False
+            ack_interf = self._ack_interf[k] + p[receiver, s_k]
+            if p[r_k, s_k] < beta * (noise + ack_interf):
+                return False
+        return True
+
+    def add(self, sender: int, receiver: int) -> None:
+        """Add the link unconditionally, updating interference sums."""
+        p = self._power
+        new_data_interf = 0.0
+        new_ack_interf = 0.0
+        for k, (s_k, r_k) in enumerate(zip(self.senders, self.receivers)):
+            self._data_interf[k] += p[sender, r_k]
+            self._ack_interf[k] += p[receiver, s_k]
+            new_data_interf += p[s_k, receiver]
+            new_ack_interf += p[r_k, sender]
+        self.senders.append(int(sender))
+        self.receivers.append(int(receiver))
+        self._data_interf.append(new_data_interf)
+        self._ack_interf.append(new_ack_interf)
+
+    def try_add(self, sender: int, receiver: int) -> bool:
+        """Add the link iff the slot stays feasible; report success."""
+        if self.can_add(sender, receiver):
+            self.add(sender, receiver)
+            return True
+        return False
+
+    def is_feasible(self) -> bool:
+        """Re-check the whole member set against the exact model."""
+        snd, rcv = self.members()
+        if snd.size == 0:
+            return True
+        return self._model.is_feasible(snd, rcv)
+
+
+def schedule_is_feasible(
+    schedule: Schedule, model: PhysicalInterferenceModel
+) -> bool:
+    """Is every slot of the schedule feasible under the exact model?"""
+    for t in range(schedule.length):
+        snd, rcv = schedule.slot_members(t)
+        if snd.size and not model.is_feasible(snd, rcv):
+            return False
+    return True

@@ -1,0 +1,21 @@
+"""The serialized (linear) worst-case schedule.
+
+One link per slot, every slot: length equals the total demand ``TD``.
+The paper's schedule-length figures report percentage improvement over this
+schedule, which is always feasible (a single communication-graph link decodes
+against noise alone by construction).
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.links import LinkSet
+from repro.scheduling.schedule import Schedule, Slot
+
+
+def linear_schedule(links: LinkSet) -> Schedule:
+    """Serialized schedule: ``demand[k]`` consecutive singleton slots per link."""
+    schedule = Schedule(link_set=links)
+    for k in range(links.n_links):
+        for _ in range(int(links.demand[k])):
+            schedule.slots.append(Slot(links=[k]))
+    return schedule

@@ -1,0 +1,125 @@
+"""Link sets: the directed edges to be scheduled, with their demands.
+
+The paper establishes a one-to-one mapping between non-gateway nodes and
+routing-forest edges: the child node (higher depth) is the *head* of its
+edge and transmits toward its parent (the *tail*).  A :class:`LinkSet`
+captures an arbitrary collection of directed links with integer demands —
+the protocols work on forests, but "up to straightforward modifications, the
+protocols ... can be used to schedule an arbitrary link set", and so can
+everything here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.routing.forest import RoutingForest
+
+
+@dataclass(frozen=True)
+class LinkSet:
+    """Directed links ``heads[k] -> tails[k]`` with demands ``demand[k]``.
+
+    ``ids[k]`` is the unique identifier of the link's head node, used by the
+    protocols for leader election and by GreedyPhysical's default edge
+    ordering.  By default ids equal head node indices.
+    """
+
+    heads: np.ndarray
+    tails: np.ndarray
+    demand: np.ndarray
+    ids: np.ndarray
+
+    def __post_init__(self) -> None:
+        heads = np.asarray(self.heads, dtype=np.intp)
+        tails = np.asarray(self.tails, dtype=np.intp)
+        demand = np.asarray(self.demand, dtype=np.int64)
+        ids = np.asarray(self.ids, dtype=np.int64)
+        if not (heads.shape == tails.shape == demand.shape == ids.shape):
+            raise ValueError("heads, tails, demand, ids must share one shape")
+        if heads.ndim != 1:
+            raise ValueError("link arrays must be 1-D")
+        if np.any(heads == tails):
+            raise ValueError("self-loop links are not allowed")
+        if np.any(demand < 0):
+            raise ValueError("demands must be non-negative")
+        if np.unique(ids).size != ids.size:
+            raise ValueError("link ids must be unique")
+        object.__setattr__(self, "heads", heads)
+        object.__setattr__(self, "tails", tails)
+        object.__setattr__(self, "demand", demand)
+        object.__setattr__(self, "ids", ids)
+
+    @property
+    def n_links(self) -> int:
+        return self.heads.shape[0]
+
+    @cached_property
+    def total_demand(self) -> int:
+        """``TD``: total traffic demand across all links."""
+        return int(self.demand.sum())
+
+    @cached_property
+    def link_of_head(self) -> dict[int, int]:
+        """Map head node index -> link index."""
+        mapping: dict[int, int] = {}
+        for k, h in enumerate(self.heads):
+            if int(h) in mapping:
+                raise ValueError(
+                    f"node {int(h)} heads more than one link; per-head lookup "
+                    "is only defined for forest link sets"
+                )
+            mapping[int(h)] = k
+        return mapping
+
+    def subset(self, indices: np.ndarray) -> "LinkSet":
+        """A new LinkSet containing only the given link indices."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return LinkSet(
+            heads=self.heads[idx],
+            tails=self.tails[idx],
+            demand=self.demand[idx],
+            ids=self.ids[idx],
+        )
+
+
+def forest_link_set(
+    forest: RoutingForest,
+    link_demand: np.ndarray,
+    ids: np.ndarray | None = None,
+) -> LinkSet:
+    """The paper's link set: one edge per non-gateway node, child -> parent.
+
+    Parameters
+    ----------
+    forest:
+        The routing forest.
+    link_demand:
+        ``(n_nodes,)`` aggregated link demands indexed by head node (from
+        :func:`repro.routing.demand.aggregate_demand`).
+    ids:
+        Optional ``(n_nodes,)`` unique node identifiers (e.g. MAC addresses);
+        defaults to node indices.
+    """
+    heads = forest.edge_heads
+    demand = np.asarray(link_demand, dtype=np.int64)
+    if demand.shape != (forest.n_nodes,):
+        raise ValueError(
+            f"link_demand must have shape ({forest.n_nodes},), got {demand.shape}"
+        )
+    node_ids = (
+        np.arange(forest.n_nodes, dtype=np.int64)
+        if ids is None
+        else np.asarray(ids, dtype=np.int64)
+    )
+    if node_ids.shape != (forest.n_nodes,):
+        raise ValueError("ids must have one entry per node")
+    return LinkSet(
+        heads=heads,
+        tails=forest.parent[heads],
+        demand=demand[heads],
+        ids=node_ids[heads],
+    )

@@ -1,0 +1,27 @@
+"""Packet-level simulation substrate (the GTNetS stand-in).
+
+A lock-step slot-synchronous engine in which every node runs its own
+generator program and interacts with the world *only* through per-slot
+actions (transmit / listen) and their locally observable outcomes (carrier
+sense booleans, decoded packets).  This is the ground-truth substrate: the
+vectorized :class:`~repro.core.fast_runtime.FastRuntime` is validated
+against it in the integration tests.
+"""
+
+from repro.simulation.medium import Medium, Transmission, SlotOutcome
+from repro.simulation.engine import SyncEngine, NodeProgram
+from repro.simulation.clock import ClockModel
+from repro.simulation.programs import scream_program, leader_elect_program
+from repro.simulation.packet_runtime import PacketRuntime
+
+__all__ = [
+    "Medium",
+    "Transmission",
+    "SlotOutcome",
+    "SyncEngine",
+    "NodeProgram",
+    "ClockModel",
+    "scream_program",
+    "leader_elect_program",
+    "PacketRuntime",
+]

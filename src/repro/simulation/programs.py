@@ -1,0 +1,103 @@
+"""Per-node generator programs for the SCREAM primitives.
+
+Direct transcriptions of the paper's pseudocode into node-local programs for
+the lock-step engine.  Each node knows *only* its own inputs; the OR result
+emerges from the carrier-sensing flood.
+
+These are the ground truth the vectorized fast runtime is validated against:
+``scream_program`` ≡ :func:`repro.core.scream.scream_flood`, and
+``leader_elect_program`` ≡ :func:`repro.core.leader.leader_elect`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.simulation.medium import SlotOutcome, Transmission
+
+SCREAM_PAYLOAD = "SCREAM"
+
+
+def scream_program(
+    node: int, var: bool, k: int
+) -> Generator["Transmission | None", SlotOutcome, bool]:
+    """The paper's ``SCREAM(var)`` subroutine for one node.
+
+    ::
+
+        relay = var
+        for sslot in 1..K:
+            if relay: Scream() else: relay = Listen()
+        return relay
+    """
+    relay = bool(var)
+    for _ in range(k):
+        if relay:
+            outcome = yield Transmission(sender=node, payload=SCREAM_PAYLOAD)
+        else:
+            outcome = yield None
+            relay = outcome.sensed
+    return relay
+
+
+def leader_elect_program(
+    node: int, node_id: int, participating: bool, id_bits: int, k: int
+) -> Generator["Transmission | None", SlotOutcome, bool]:
+    """The paper's ``LeaderElect(ID)`` for one node; returns "I won".
+
+    Iterates from the most significant ID bit down; in each iteration the
+    node either screams (bit set and still in the race) or passively relays.
+    Non-participants run ``LeaderElect(0)``: they relay every round and
+    cannot win.
+    """
+    voted_out = not participating
+    for j in range(id_bits - 1, -1, -1):
+        bit = (node_id >> j) & 1 == 1
+        if participating and bit and not voted_out:
+            yield from scream_program(node, True, k)
+        else:
+            heard = yield from scream_program(node, False, k)
+            voted_out = voted_out or heard
+    return participating and not voted_out
+
+
+def handshake_program(
+    node: int,
+    head_peer: int | None,
+    is_tail: bool,
+) -> Generator["Transmission | None", SlotOutcome, bool]:
+    """One two-way handshake step for one node (data then ACK sub-slot).
+
+    A node can play several roles at once in a forest link set:
+
+    * *head* of its own link (``head_peer`` is its receiver) — transmits
+      data in the first sub-slot, listens for its ACK in the second;
+    * *tail* of one or more links (``is_tail``) — listens for data in the
+      first sub-slot and ACKs the (at most one, since ``beta > 1``) decoded
+      packet in the second;
+    * both — physically possible only sequentially: a transmitting head is
+      deaf in the data sub-slot, so it never holds data to ACK;
+    * neither — idles through both sub-slots.
+
+    Returns the head's handshake success (data delivered *and* ACK decoded);
+    the return value of non-head nodes is False and unused.
+    """
+    data_from: int | None = None
+    if head_peer is not None:
+        yield Transmission(sender=node, dest=head_peer, payload=("DATA", node))
+    else:
+        outcome = yield None
+        if is_tail:
+            for frame in outcome.received:
+                kind, sender = frame.payload
+                if kind == "DATA":
+                    data_from = sender
+                    break
+
+    if data_from is not None:
+        yield Transmission(sender=node, dest=data_from, payload=("ACK", node))
+        return False
+    outcome = yield None
+    if head_peer is None:
+        return False
+    return any(frame.payload == ("ACK", head_peer) for frame in outcome.received)

@@ -1,0 +1,62 @@
+"""Communication graph construction (Section II).
+
+An edge ``(u, v)`` belongs to the communication graph iff the link closes in
+*both* directions in the absence of any other transmission: the data packet
+and the link-layer ACK must each clear the SINR threshold against background
+noise alone.  Unidirectional links are discarded, exactly as the paper does
+("we assume that unidirectional links are not used even if they are present").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def communication_adjacency(
+    power: np.ndarray, noise_mw: float, beta: float
+) -> np.ndarray:
+    """Boolean symmetric adjacency of the communication graph.
+
+    Parameters
+    ----------
+    power:
+        ``(n, n)`` received-power matrix in mW.
+    noise_mw, beta:
+        Background noise and SINR decode threshold.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, n)`` boolean matrix, False on the diagonal, symmetric.
+    """
+    p = np.asarray(power, dtype=float)
+    if p.ndim != 2 or p.shape[0] != p.shape[1]:
+        raise ValueError(f"power must be a square matrix, got shape {p.shape}")
+    if noise_mw <= 0 or beta <= 0:
+        raise ValueError("noise_mw and beta must be positive")
+    forward = p / noise_mw >= beta
+    adjacency = forward & forward.T
+    np.fill_diagonal(adjacency, False)
+    return adjacency
+
+
+def is_connected(adjacency: np.ndarray) -> bool:
+    """Is the (undirected) graph connected?  BFS from node 0."""
+    adj = np.asarray(adjacency, dtype=bool)
+    n = adj.shape[0]
+    if n == 0:
+        return True
+    visited = np.zeros(n, dtype=bool)
+    frontier = np.zeros(n, dtype=bool)
+    frontier[0] = True
+    visited[0] = True
+    while frontier.any():
+        reached = adj[frontier].any(axis=0) & ~visited
+        visited |= reached
+        frontier = reached
+    return bool(visited.all())
+
+
+def degree_sequence(adjacency: np.ndarray) -> np.ndarray:
+    """Per-node degree of the undirected communication graph."""
+    return np.asarray(adjacency, dtype=bool).sum(axis=1)

@@ -1,0 +1,72 @@
+"""Deployment regions and the density sweep arithmetic of Section VI.
+
+The paper's simulations fix the node count at 64 and vary *density*
+(nodes per square kilometer) by scaling the deployment area.  These helpers
+convert between density and region side length so every experiment states
+its sweep in the paper's units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+SQ_METERS_PER_SQ_KM = 1_000_000.0
+
+
+def side_for_density(n_nodes: int, density_per_km2: float) -> float:
+    """Side (meters) of the square region holding ``n_nodes`` at a density.
+
+    >>> round(side_for_density(64, 1000.0), 1)
+    253.0
+    """
+    if n_nodes <= 0:
+        raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+    check_positive("density_per_km2", density_per_km2)
+    area_m2 = n_nodes / density_per_km2 * SQ_METERS_PER_SQ_KM
+    return float(np.sqrt(area_m2))
+
+
+def density_for_side(n_nodes: int, side_m: float) -> float:
+    """Density (nodes/km^2) of ``n_nodes`` in a square of side ``side_m``."""
+    if n_nodes <= 0:
+        raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+    check_positive("side_m", side_m)
+    return n_nodes / (side_m**2 / SQ_METERS_PER_SQ_KM)
+
+
+@dataclass(frozen=True)
+class SquareRegion:
+    """A square deployment region ``[0, side] x [0, side]`` in meters."""
+
+    side: float
+
+    def __post_init__(self) -> None:
+        check_positive("side", self.side)
+
+    @property
+    def area_m2(self) -> float:
+        return self.side**2
+
+    @property
+    def diameter(self) -> float:
+        """Euclidean diameter (Definition 11): the diagonal for a square."""
+        return self.side * np.sqrt(2.0)
+
+    def contains(self, positions: np.ndarray) -> np.ndarray:
+        """Boolean mask of which positions fall inside the region."""
+        pos = np.asarray(positions, dtype=float)
+        return (
+            (pos[:, 0] >= 0)
+            & (pos[:, 0] <= self.side)
+            & (pos[:, 1] >= 0)
+            & (pos[:, 1] <= self.side)
+        )
+
+    @classmethod
+    def for_density(cls, n_nodes: int, density_per_km2: float) -> "SquareRegion":
+        """Region sized so ``n_nodes`` sit at ``density_per_km2``."""
+        return cls(side_for_density(n_nodes, density_per_km2))

@@ -1,0 +1,42 @@
+"""Sensitivity graph construction (Definition 1).
+
+Directed edge ``(u, v)`` belongs to the sensitivity graph ``GS`` iff node
+``v`` can detect channel activity when ``u`` transmits alone — i.e. the
+received power clears the carrier-sense threshold.  ``GS`` is a super-graph
+of the communication graph (carrier sensing detects strictly weaker signals
+than decoding), which is what makes the SCREAM flood complete within the
+interference diameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sensitivity_adjacency(power: np.ndarray, cs_threshold_mw: float) -> np.ndarray:
+    """Boolean directed adjacency of the sensitivity graph.
+
+    ``out[u, v]`` is True iff ``v`` senses ``u``'s lone transmission.  With
+    homogeneous transmit powers and a deterministic propagation model the
+    result is symmetric; with heterogeneous powers it generally is not
+    (a strong node is heard farther than it hears).
+    """
+    p = np.asarray(power, dtype=float)
+    if p.ndim != 2 or p.shape[0] != p.shape[1]:
+        raise ValueError(f"power must be a square matrix, got shape {p.shape}")
+    if cs_threshold_mw <= 0:
+        raise ValueError(f"cs_threshold_mw must be positive, got {cs_threshold_mw}")
+    adjacency = p >= cs_threshold_mw
+    np.fill_diagonal(adjacency, False)
+    return adjacency
+
+
+def supergraph_check(comm_adj: np.ndarray, sens_adj: np.ndarray) -> bool:
+    """Verify the paper's invariant: ``GS`` is a super-graph of ``G``.
+
+    Every communication edge must be sensed in both directions.  Returns
+    True when the invariant holds.
+    """
+    comm = np.asarray(comm_adj, dtype=bool)
+    sens = np.asarray(sens_adj, dtype=bool)
+    return bool(((~comm) | (sens & sens.T)).all())

@@ -1,0 +1,24 @@
+"""Shared utilities: reproducible RNG management and argument validation.
+
+Persistence helpers live in :mod:`repro.util.persist`; they are re-exported
+from the top-level :mod:`repro` package rather than here to keep this
+package import-light (propagation models import validation helpers from it).
+"""
+
+from repro.util.rng import ensure_rng, spawn, spawn_many
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_integer_in_range,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn",
+    "spawn_many",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_integer_in_range",
+]

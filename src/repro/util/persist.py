@@ -1,0 +1,204 @@
+"""Persistence: save/load networks, link sets and schedules as .npz archives.
+
+Reproduction artifacts (a deployed topology, the links scheduled on it, the
+schedule computed) can be written to disk and reloaded bit-exactly, so
+experiment outputs can be archived, diffed, and re-verified later without
+re-running the protocols.
+
+Propagation models are stored by kind + parameters (the frozen shadowing
+draw is stored as the realized gain matrix, so reloaded networks reproduce
+identical physics even though the generator state is gone).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.phy.propagation import (
+    FreeSpace,
+    LogDistancePathLoss,
+    LogNormalShadowing,
+    PropagationModel,
+)
+from repro.phy.radio import RadioConfig
+from repro.scheduling.links import LinkSet
+from repro.scheduling.schedule import Schedule, Slot
+from repro.topology.network import Network
+from repro.topology.regions import SquareRegion
+
+_FORMAT_VERSION = 1
+
+
+class _FrozenGains:
+    """A propagation model replaying a stored gain matrix.
+
+    Used when reloading networks whose model carried per-pair randomness
+    (shadowing): the realized gains are the physical truth worth keeping.
+    """
+
+    def __init__(self, gains: np.ndarray, description: str):
+        self._gains = np.asarray(gains, dtype=float)
+        self.description = description
+
+    def gain(self, distances: np.ndarray) -> np.ndarray:
+        raise NotImplementedError(
+            "frozen-gain models replay a stored matrix; distance-law "
+            "evaluation is not available"
+        )
+
+    def pair_gain(self, distance_matrix: np.ndarray) -> np.ndarray:
+        if distance_matrix.shape != self._gains.shape:
+            raise ValueError("stored gains do not match the requested shape")
+        return self._gains
+
+    def __repr__(self) -> str:
+        return f"FrozenGains({self.description})"
+
+
+def _propagation_meta(model: PropagationModel) -> dict:
+    if isinstance(model, LogNormalShadowing):
+        return {
+            "kind": "lognormal-frozen",
+            "alpha": model.alpha,
+            "sigma_db": model.sigma_db,
+            "reference_distance": model.reference_distance,
+            "reference_loss_db": model.reference_loss_db,
+        }
+    if isinstance(model, FreeSpace):
+        return {
+            "kind": "freespace",
+            "reference_distance": model.reference_distance,
+            "reference_loss_db": model.reference_loss_db,
+        }
+    if isinstance(model, LogDistancePathLoss):
+        return {
+            "kind": "logdistance",
+            "alpha": model.alpha,
+            "reference_distance": model.reference_distance,
+            "reference_loss_db": model.reference_loss_db,
+        }
+    if isinstance(model, _FrozenGains):
+        return {"kind": "frozen", "description": model.description}
+    raise TypeError(f"cannot persist propagation model {type(model).__name__}")
+
+
+def _propagation_from_meta(meta: dict, gains: np.ndarray | None):
+    kind = meta["kind"]
+    if kind == "logdistance":
+        return LogDistancePathLoss(
+            alpha=meta["alpha"],
+            reference_distance=meta["reference_distance"],
+            reference_loss_db=meta["reference_loss_db"],
+        )
+    if kind == "freespace":
+        return FreeSpace(
+            reference_distance=meta["reference_distance"],
+            reference_loss_db=meta["reference_loss_db"],
+        )
+    if kind in ("lognormal-frozen", "frozen"):
+        if gains is None:
+            raise ValueError("archive is missing the frozen gain matrix")
+        return _FrozenGains(gains, meta.get("description", kind))
+    raise ValueError(f"unknown propagation kind {kind!r}")
+
+
+def save_network(path: str | Path, network: Network) -> None:
+    """Write a network (positions, powers, radio, physics) to ``path``."""
+    meta = {
+        "version": _FORMAT_VERSION,
+        "radio": {
+            "beta": network.radio.beta,
+            "noise_mw": network.radio.noise_mw,
+            "cs_gamma": network.radio.cs_gamma,
+            "alpha": network.radio.alpha,
+        },
+        "region_side": network.region.side,
+        "propagation": _propagation_meta(network.propagation),
+    }
+    arrays = {
+        "positions": network.positions,
+        "tx_power_mw": network.tx_power_mw,
+        "meta": np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    }
+    needs_gains = meta["propagation"]["kind"] in ("lognormal-frozen", "frozen")
+    if needs_gains:
+        # Store the *realized* gains (the network's cached physics), not a
+        # re-evaluation of the model.
+        arrays["gains"] = network.power / network.tx_power_mw[:, None]
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_network(path: str | Path) -> Network:
+    """Reload a network saved by :func:`save_network` (physics-identical)."""
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported archive version {meta.get('version')}")
+        gains = data["gains"] if "gains" in data else None
+        propagation = _propagation_from_meta(meta["propagation"], gains)
+        return Network(
+            positions=data["positions"],
+            tx_power_mw=data["tx_power_mw"],
+            radio=RadioConfig(**meta["radio"]),
+            propagation=propagation,
+            region=SquareRegion(side=meta["region_side"]),
+        )
+
+
+def save_link_set(path: str | Path, links: LinkSet) -> None:
+    """Write a link set to ``path``."""
+    np.savez_compressed(
+        Path(path),
+        heads=links.heads,
+        tails=links.tails,
+        demand=links.demand,
+        ids=links.ids,
+    )
+
+
+def load_link_set(path: str | Path) -> LinkSet:
+    with np.load(Path(path)) as data:
+        return LinkSet(
+            heads=data["heads"],
+            tails=data["tails"],
+            demand=data["demand"],
+            ids=data["ids"],
+        )
+
+
+def save_schedule(path: str | Path, schedule: Schedule) -> None:
+    """Write a schedule (with its link set) to ``path``."""
+    flat: list[int] = []
+    offsets = [0]
+    for slot in schedule.slots:
+        flat.extend(slot.links)
+        offsets.append(len(flat))
+    np.savez_compressed(
+        Path(path),
+        heads=schedule.link_set.heads,
+        tails=schedule.link_set.tails,
+        demand=schedule.link_set.demand,
+        ids=schedule.link_set.ids,
+        slot_links=np.asarray(flat, dtype=np.int64),
+        slot_offsets=np.asarray(offsets, dtype=np.int64),
+    )
+
+
+def load_schedule(path: str | Path) -> Schedule:
+    with np.load(Path(path)) as data:
+        links = LinkSet(
+            heads=data["heads"],
+            tails=data["tails"],
+            demand=data["demand"],
+            ids=data["ids"],
+        )
+        flat = data["slot_links"]
+        offsets = data["slot_offsets"]
+        slots = [
+            Slot(links=[int(k) for k in flat[offsets[i] : offsets[i + 1]]])
+            for i in range(len(offsets) - 1)
+        ]
+        return Schedule(link_set=links, slots=slots)

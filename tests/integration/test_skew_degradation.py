@@ -1,0 +1,101 @@
+"""Uncompensated clock skew: degradation onset and protocol impact."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.fast_runtime import FastRuntime
+from repro.core.fdd import run_fdd
+from repro.core.skew import (
+    critical_skew_estimate,
+    degrade_sensitivity_graph,
+)
+from repro.core.timing import TimingModel
+from repro.scheduling.metrics import verify_schedule
+from repro.simulation.clock import ClockModel
+from tests.conftest import make_links
+
+
+@pytest.fixture(scope="module")
+def timing():
+    return TimingModel(scream_bytes=15)
+
+
+def test_no_degradation_below_critical_skew(grid16, timing):
+    burst = 8 * 15 / timing.bitrate_bps
+    guard = 10e-6
+    skew = critical_skew_estimate(guard) * 0.99
+    clock = ClockModel(grid16.n_nodes, skew, np.random.default_rng(1))
+    result = degrade_sensitivity_graph(grid16.sens_adj, clock, burst, guard)
+    assert result.edges_lost == 0
+
+
+def test_degradation_grows_with_skew(grid16, timing):
+    burst = 8 * 15 / timing.bitrate_bps
+    guard = 10e-6
+    losses = []
+    for factor in (1.5, 5.0, 50.0):
+        skew = critical_skew_estimate(guard) * factor
+        clock = ClockModel(grid16.n_nodes, skew, np.random.default_rng(2))
+        result = degrade_sensitivity_graph(
+            grid16.sens_adj, clock, burst, guard
+        )
+        losses.append(result.loss_fraction)
+    assert losses == sorted(losses)
+    assert losses[-1] > 0.5
+
+
+def test_protocol_on_degraded_graph_detectably_fails(grid16, timing):
+    """Severe uncompensated skew must break the run *observably*."""
+    _, links = make_links(grid16, 1, seed=51)
+    burst = 8 * 15 / timing.bitrate_bps
+    guard = 1e-6
+    clock = ClockModel(grid16.n_nodes, 1e-3, np.random.default_rng(3))
+    degraded = degrade_sensitivity_graph(grid16.sens_adj, clock, burst, guard)
+    assert degraded.loss_fraction > 0.8
+
+    config = ProtocolConfig(
+        k=5, id_bits=5, max_rounds=4 * links.total_demand + 20
+    )
+    runtime = FastRuntime(
+        model=grid16.model,
+        sens_adj=degraded.sens_adj,
+        ids=np.arange(grid16.n_nodes),
+        config=config,
+    )
+    result = run_fdd(links, runtime, config, rng=4)
+    report = verify_schedule(result.schedule, grid16.model)
+    degraded_run = (
+        not report.ok
+        or not result.terminated
+        or result.tally.multi_winner_elections > 0
+    )
+    assert degraded_run
+
+
+def test_protocol_on_intact_graph_with_adequate_guard(grid16, timing):
+    """The compensated design (guard >= 2*skew) keeps the run exact."""
+    _, links = make_links(grid16, 1, seed=51)
+    burst = 8 * 15 / timing.bitrate_bps
+    skew = 100e-6
+    guard = 2 * skew  # the TimingModel's compensation rule
+    clock = ClockModel(grid16.n_nodes, skew, np.random.default_rng(5))
+    degraded = degrade_sensitivity_graph(grid16.sens_adj, clock, burst, guard)
+    assert degraded.edges_lost == 0
+
+    config = ProtocolConfig(k=5, id_bits=5)
+    runtime = FastRuntime(
+        model=grid16.model,
+        sens_adj=degraded.sens_adj,
+        ids=np.arange(grid16.n_nodes),
+        config=config,
+    )
+    result = run_fdd(links, runtime, config, rng=6)
+    assert result.terminated
+    assert verify_schedule(result.schedule, grid16.model).ok
+
+
+def test_critical_skew_estimate_validation():
+    with pytest.raises(ValueError):
+        critical_skew_estimate(-1.0)
+    assert critical_skew_estimate(4e-6) == pytest.approx(2e-6)

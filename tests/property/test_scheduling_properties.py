@@ -1,0 +1,106 @@
+"""Property tests: greedy schedules, routing forests, demand conservation."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.gain import received_power_matrix
+from repro.phy.interference import PhysicalInterferenceModel
+from repro.phy.propagation import LogDistancePathLoss
+from repro.phy.radio import RadioConfig
+from repro.routing.demand import aggregate_demand, uniform_node_demand
+from repro.routing.forest import build_routing_forest
+from repro.scheduling.greedy_physical import greedy_physical
+from repro.scheduling.links import LinkSet, forest_link_set
+from repro.scheduling.metrics import improvement_over_linear, verify_schedule
+from repro.scheduling.orderings import EDGE_ORDERINGS
+from repro.topology.commgraph import communication_adjacency, is_connected
+
+
+@st.composite
+def connected_instance(draw):
+    """A connected random network with a routing forest and demands."""
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    n = draw(st.integers(min_value=5, max_value=24))
+    rng = np.random.default_rng(seed)
+    radio = RadioConfig()
+    model_prop = LogDistancePathLoss(alpha=3.0)
+    for attempt in range(64):
+        side = np.sqrt(n) * 45.0
+        positions = rng.uniform(0, side, size=(n, 2))
+        tx = np.full(n, 10 ** (12.0 / 10.0))
+        power = received_power_matrix(positions, tx, model_prop)
+        adj = communication_adjacency(power, radio.noise_mw, radio.beta)
+        if is_connected(adj):
+            break
+    else:
+        return None  # pathologically unlucky; skip
+    model = PhysicalInterferenceModel(power, radio)
+    n_gw = draw(st.integers(min_value=1, max_value=max(1, n // 5)))
+    gws = rng.choice(n, size=n_gw, replace=False)
+    forest = build_routing_forest(adj, gws, rng=rng)
+    demand = uniform_node_demand(n, rng, low=0, high=4, gateways=gws)
+    links = forest_link_set(forest, aggregate_demand(forest, demand))
+    return model, forest, links, demand, gws
+
+
+@given(connected_instance())
+@settings(max_examples=40, deadline=None)
+def test_greedy_schedule_always_valid(instance):
+    if instance is None:
+        return
+    model, _forest, links, _demand, _gws = instance
+    schedule = greedy_physical(links, model)
+    report = verify_schedule(schedule, model)
+    assert report.ok
+    assert 0.0 <= improvement_over_linear(schedule) < 100.0
+    assert schedule.length <= links.total_demand
+
+
+@given(connected_instance(), st.sampled_from(sorted(EDGE_ORDERINGS)))
+@settings(max_examples=25, deadline=None)
+def test_greedy_valid_under_every_ordering(instance, ordering):
+    if instance is None:
+        return
+    model, _forest, links, _demand, _gws = instance
+    schedule = greedy_physical(links, model, ordering=ordering)
+    assert verify_schedule(schedule, model).ok
+
+
+@given(connected_instance())
+@settings(max_examples=40, deadline=None)
+def test_forest_demand_conservation(instance):
+    if instance is None:
+        return
+    _model, forest, links, demand, gws = instance
+    # Total demand crossing into gateways equals total generated demand.
+    gateway_set = set(gws.tolist())
+    into_gateways = sum(
+        int(links.demand[k])
+        for k in range(links.n_links)
+        if int(links.tails[k]) in gateway_set
+    )
+    assert into_gateways == int(demand.sum())
+
+
+@given(connected_instance())
+@settings(max_examples=40, deadline=None)
+def test_forest_depths_strictly_decrease_toward_root(instance):
+    if instance is None:
+        return
+    _model, forest, _links, _demand, _gws = instance
+    for v in range(forest.n_nodes):
+        p = forest.parent[v]
+        if p >= 0:
+            assert forest.depth[p] == forest.depth[v] - 1
+
+
+@given(connected_instance())
+@settings(max_examples=40, deadline=None)
+def test_link_demand_at_least_own_demand(instance):
+    """A link carries at least the demand its head generates."""
+    if instance is None:
+        return
+    _model, forest, links, demand, _gws = instance
+    for k in range(links.n_links):
+        head = int(links.heads[k])
+        assert links.demand[k] >= demand[head]

@@ -1,0 +1,24 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.phy.units
+import repro.topology.regions
+
+MODULES_WITH_DOCTESTS = [
+    repro.phy.units,
+    repro.topology.regions,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, (
+        f"{module.__name__} advertises doctests but has none"
+    )
+    assert result.failed == 0

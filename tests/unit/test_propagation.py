@@ -1,0 +1,107 @@
+"""Propagation models: power laws, reference loss, frozen shadowing."""
+
+import numpy as np
+import pytest
+
+from repro.phy.propagation import FreeSpace, LogDistancePathLoss, LogNormalShadowing
+
+
+class TestLogDistance:
+    def test_gain_follows_power_law(self):
+        model = LogDistancePathLoss(alpha=3.0, reference_loss_db=40.0)
+        g10 = model.gain(np.array(10.0))
+        g20 = model.gain(np.array(20.0))
+        assert g10 / g20 == pytest.approx(8.0)
+
+    def test_gain_at_reference_distance(self):
+        model = LogDistancePathLoss(alpha=3.0, reference_loss_db=40.0)
+        assert model.gain(np.array(1.0)) == pytest.approx(1e-4)
+
+    def test_gain_clamped_below_reference(self):
+        model = LogDistancePathLoss(alpha=3.0)
+        assert model.gain(np.array(0.0)) == model.gain(np.array(1.0))
+        assert model.gain(np.array(0.5)) == model.gain(np.array(1.0))
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss().gain(np.array([-1.0]))
+
+    def test_range_for_snr_inverts_gain(self):
+        model = LogDistancePathLoss(alpha=3.0)
+        tx, noise, beta = 15.85, 1e-9, 10.0
+        r = model.range_for_snr(tx, noise, beta)
+        assert tx * model.gain(np.array(r)) / noise == pytest.approx(beta, rel=1e-9)
+
+    def test_range_zero_when_budget_insufficient(self):
+        model = LogDistancePathLoss(alpha=3.0, reference_loss_db=40.0)
+        assert model.range_for_snr(1e-9, 1e-9, 10.0) == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(alpha=0.0)
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(reference_distance=-1.0)
+
+
+class TestFreeSpace:
+    def test_exponent_is_two(self):
+        model = FreeSpace()
+        g10, g20 = model.gain(np.array([10.0, 20.0]))
+        assert g10 / g20 == pytest.approx(4.0)
+
+
+class TestLogNormalShadowing:
+    def test_zero_sigma_matches_median(self):
+        base = LogDistancePathLoss(alpha=3.0)
+        shadow = LogNormalShadowing(alpha=3.0, sigma_db=0.0, rng=1)
+        d = np.array([[0.0, 30.0], [30.0, 0.0]])
+        assert shadow.pair_gain(d)[0, 1] == pytest.approx(base.gain(d)[0, 1])
+
+    def test_shadowing_is_symmetric(self):
+        shadow = LogNormalShadowing(alpha=3.0, sigma_db=6.0, rng=2)
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(0, 100, size=(8, 2))
+        d = np.sqrt(((pos[:, None] - pos[None, :]) ** 2).sum(-1))
+        gains = shadow.pair_gain(d)
+        assert np.allclose(gains, gains.T)
+
+    def test_shadowing_capped_at_reference_gain(self):
+        shadow = LogNormalShadowing(alpha=3.0, sigma_db=20.0, rng=3)
+        d = np.full((6, 6), 1.5)
+        np.fill_diagonal(d, 0.0)
+        gains = shadow.pair_gain(d)
+        assert (gains <= 1e-4 + 1e-12).all()
+
+    def test_pair_gain_requires_square_matrix(self):
+        shadow = LogNormalShadowing(rng=4)
+        with pytest.raises(ValueError):
+            shadow.pair_gain(np.zeros((2, 3)))
+
+    def test_scalar_gain_is_median(self):
+        shadow = LogNormalShadowing(alpha=3.0, sigma_db=8.0, rng=5)
+        base = LogDistancePathLoss(alpha=3.0)
+        assert shadow.gain(np.array(50.0)) == pytest.approx(
+            base.gain(np.array(50.0))
+        )
+
+
+class TestShadowingFreeze:
+    """Regression: the shadowing realization must be drawn exactly once."""
+
+    def test_pair_gain_stable_across_calls(self):
+        shadow = LogNormalShadowing(alpha=3.0, sigma_db=6.0, rng=11)
+        rng = np.random.default_rng(1)
+        pos = rng.uniform(0, 100, size=(6, 2))
+        d = np.sqrt(((pos[:, None] - pos[None, :]) ** 2).sum(-1))
+        first = shadow.pair_gain(d)
+        second = shadow.pair_gain(d)
+        assert np.array_equal(first, second)
+
+    def test_mismatched_node_count_rejected_after_freeze(self):
+        shadow = LogNormalShadowing(alpha=3.0, sigma_db=6.0, rng=12)
+        d6 = np.ones((6, 6)) * 10.0
+        np.fill_diagonal(d6, 0.0)
+        shadow.pair_gain(d6)
+        d4 = np.ones((4, 4)) * 10.0
+        with pytest.raises(ValueError, match="frozen"):
+            shadow.pair_gain(d4)

@@ -1,0 +1,104 @@
+"""Protocol engine edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.fast_runtime import FastRuntime
+from repro.core.fdd import run_fdd
+from repro.core.pdd import run_pdd
+from repro.scheduling.links import LinkSet
+from repro.scheduling.metrics import verify_schedule
+
+
+@pytest.fixture()
+def config():
+    return ProtocolConfig(k=5, id_bits=5)
+
+
+def test_all_zero_demand_terminates_immediately(grid16, config):
+    links = LinkSet(
+        heads=np.array([1, 4]),
+        tails=np.array([0, 0]),
+        demand=np.array([0, 0]),
+        ids=np.array([1, 4]),
+    )
+    result = run_fdd(links, FastRuntime.for_network(grid16, config), config, rng=1)
+    assert result.terminated
+    assert result.schedule_length == 0
+    # Termination still costs one election + one scream on the air.
+    assert result.tally.elections == 1
+    assert result.tally.scream_slots > 0
+
+
+def test_single_link_schedule(grid16, config):
+    links = LinkSet(
+        heads=np.array([1]),
+        tails=np.array([0]),
+        demand=np.array([4]),
+        ids=np.array([1]),
+    )
+    result = run_fdd(links, FastRuntime.for_network(grid16, config), config, rng=2)
+    assert result.schedule_length == 4
+    assert all(slot.links == [0] for slot in result.schedule.slots)
+    assert verify_schedule(result.schedule, grid16.model).ok
+
+
+def test_mismatched_ids_rejected(grid16, config):
+    links = LinkSet(
+        heads=np.array([1, 4]),
+        tails=np.array([0, 0]),
+        demand=np.array([1, 1]),
+        ids=np.array([100, 101]),  # disagree with runtime node ids
+    )
+    with pytest.raises(ValueError, match="disagree"):
+        run_fdd(links, FastRuntime.for_network(grid16, config), config, rng=3)
+
+
+def test_pdd_zero_probability_rejected(grid16, grid16_links, config):
+    with pytest.raises(ValueError, match="p_active"):
+        run_pdd(
+            grid16_links,
+            FastRuntime.for_network(grid16, config.with_p(0.0)),
+            config.with_p(0.0),
+            rng=4,
+        )
+
+
+def test_max_rounds_cap_reports_unterminated(grid16, grid16_links):
+    config = ProtocolConfig(k=5, id_bits=5, max_rounds=2)
+    result = run_fdd(
+        grid16_links, FastRuntime.for_network(grid16, config), config, rng=5
+    )
+    assert not result.terminated
+    assert result.rounds == 2
+    report = verify_schedule(result.schedule, grid16.model)
+    assert not report.demand_satisfied  # truncated run, and detectably so
+
+
+@pytest.mark.parametrize("idle_seal", [False, True])
+def test_pdd_valid_under_both_seal_readings(grid16, grid16_links, idle_seal):
+    from dataclasses import replace
+
+    config = ProtocolConfig(
+        k=5, id_bits=5, p_active=0.4, seal_on_idle_step=idle_seal
+    )
+    result = run_pdd(
+        grid16_links, FastRuntime.for_network(grid16, config), config, rng=6
+    )
+    assert result.terminated
+    assert verify_schedule(result.schedule, grid16.model).ok
+
+
+def test_fdd_seal_readings_produce_identical_schedules(grid16, grid16_links):
+    """FDD drains exactly one dormant per step, so both sealing readings
+    coincide by construction."""
+    from dataclasses import replace
+
+    base = ProtocolConfig(k=5, id_bits=5, seal_on_idle_step=False)
+    alt = replace(base, seal_on_idle_step=True)
+    a = run_fdd(grid16_links, FastRuntime.for_network(grid16, base), base, rng=7)
+    b = run_fdd(grid16_links, FastRuntime.for_network(grid16, alt), alt, rng=7)
+    assert a.schedule_length == b.schedule_length
+    for sa, sb in zip(a.schedule.slots, b.schedule.slots):
+        assert sorted(sa.links) == sorted(sb.links)

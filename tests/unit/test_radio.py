@@ -1,0 +1,67 @@
+"""Radio configuration: thresholds, validation, power vectors."""
+
+import numpy as np
+import pytest
+
+from repro.phy.radio import RadioConfig, heterogeneous_tx_power, uniform_tx_power
+from repro.phy.units import dbm_to_mw
+
+
+class TestRadioConfig:
+    def test_decode_power_is_beta_times_noise(self):
+        radio = RadioConfig(beta=10.0, noise_mw=1e-9)
+        assert radio.decode_power_mw == pytest.approx(1e-8)
+
+    def test_cs_threshold_below_decode_threshold(self):
+        radio = RadioConfig(cs_gamma=3.0, alpha=3.0)
+        assert radio.cs_threshold_mw == pytest.approx(
+            radio.decode_power_mw / 27.0
+        )
+
+    def test_cs_gamma_one_equates_thresholds(self):
+        radio = RadioConfig(cs_gamma=1.0)
+        assert radio.cs_threshold_mw == pytest.approx(radio.decode_power_mw)
+
+    def test_rejects_cs_gamma_below_one(self):
+        with pytest.raises(ValueError):
+            RadioConfig(cs_gamma=0.5)
+
+    def test_rejects_beta_at_or_below_unity(self):
+        with pytest.raises(ValueError):
+            RadioConfig(beta=1.0)
+        with pytest.raises(ValueError):
+            RadioConfig(beta=0.5)
+
+    def test_with_cs_gamma_returns_modified_copy(self):
+        radio = RadioConfig(cs_gamma=3.0)
+        other = radio.with_cs_gamma(2.0)
+        assert other.cs_gamma == 2.0
+        assert radio.cs_gamma == 3.0
+
+
+class TestPowerVectors:
+    def test_uniform_power_value_and_shape(self):
+        tx = uniform_tx_power(5, power_dbm=12.0)
+        assert tx.shape == (5,)
+        assert np.allclose(tx, dbm_to_mw(12.0))
+
+    def test_heterogeneous_power_within_range(self):
+        rng = np.random.default_rng(3)
+        tx = heterogeneous_tx_power(100, rng, low_dbm=10.0, high_dbm=14.0)
+        assert tx.shape == (100,)
+        assert (tx >= dbm_to_mw(10.0) - 1e-12).all()
+        assert (tx <= dbm_to_mw(14.0) + 1e-12).all()
+        # Heterogeneous means actually varied.
+        assert np.std(tx) > 0
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_tx_power(0)
+        with pytest.raises(ValueError):
+            heterogeneous_tx_power(0, np.random.default_rng(0))
+
+    def test_inverted_power_range_rejected(self):
+        with pytest.raises(ValueError):
+            heterogeneous_tx_power(
+                4, np.random.default_rng(0), low_dbm=14.0, high_dbm=10.0
+            )

@@ -1,0 +1,214 @@
+"""Scheduling substrate: links, schedules, feasibility state, baselines."""
+
+import numpy as np
+import pytest
+
+from repro.routing import aggregate_demand, build_routing_forest, planned_gateways
+from repro.scheduling.feasibility import SlotState, schedule_is_feasible
+from repro.scheduling.greedy_physical import greedy_physical
+from repro.scheduling.linear import linear_schedule
+from repro.scheduling.links import LinkSet, forest_link_set
+from repro.scheduling.metrics import improvement_over_linear, verify_schedule
+from repro.scheduling.orderings import (
+    order_by_demand,
+    order_by_id,
+    order_by_interference_number,
+    order_by_length,
+)
+from repro.scheduling.schedule import Schedule, Slot
+
+
+class TestLinkSet:
+    def test_forest_link_set_one_link_per_non_gateway(self, grid16):
+        gws = planned_gateways(4, 4, 2)
+        forest = build_routing_forest(grid16.comm_adj, gws, rng=1)
+        demand = np.ones(16, dtype=int)
+        demand[gws] = 0
+        links = forest_link_set(forest, aggregate_demand(forest, demand))
+        assert links.n_links == 14
+        assert set(links.heads.tolist()) == set(range(16)) - set(gws.tolist())
+
+    def test_ids_default_to_head_indices(self, grid16_links):
+        assert np.array_equal(grid16_links.ids, grid16_links.heads)
+
+    def test_self_loops_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSet(
+                heads=np.array([1]),
+                tails=np.array([1]),
+                demand=np.array([1]),
+                ids=np.array([1]),
+            )
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSet(
+                heads=np.array([0, 1]),
+                tails=np.array([1, 2]),
+                demand=np.array([1, 1]),
+                ids=np.array([5, 5]),
+            )
+
+    def test_subset(self, grid16_links):
+        sub = grid16_links.subset(np.array([0, 2]))
+        assert sub.n_links == 2
+        assert sub.heads[0] == grid16_links.heads[0]
+
+    def test_link_of_head_lookup(self, grid16_links):
+        for k, head in enumerate(grid16_links.heads):
+            assert grid16_links.link_of_head[int(head)] == k
+
+
+class TestScheduleContainers:
+    def test_slot_add_rejects_duplicates(self):
+        slot = Slot()
+        slot.add(3)
+        with pytest.raises(ValueError):
+            slot.add(3)
+
+    def test_allocations_and_demand(self, grid16_links):
+        schedule = linear_schedule(grid16_links)
+        assert np.array_equal(schedule.allocations(), grid16_links.demand)
+        assert schedule.satisfies_demand()
+
+    def test_concurrency_of_linear_is_one(self, grid16_links):
+        schedule = linear_schedule(grid16_links)
+        assert schedule.concurrency() == pytest.approx(1.0)
+
+    def test_empty_schedule(self, grid16_links):
+        schedule = Schedule(link_set=grid16_links)
+        assert schedule.length == 0
+        assert schedule.concurrency() == 0.0
+        assert not schedule.satisfies_demand()
+
+    def test_summary_mentions_key_figures(self, grid16_links):
+        schedule = linear_schedule(grid16_links)
+        text = schedule.summary()
+        assert str(schedule.length) in text
+        assert str(grid16_links.total_demand) in text
+
+
+class TestSlotState:
+    def test_matches_exact_model_incrementally(self, grid64, grid64_links):
+        """SlotState.can_add must agree with full-model re-evaluation."""
+        model = grid64.model
+        state = SlotState(model)
+        added = 0
+        for k in range(grid64_links.n_links):
+            s = int(grid64_links.heads[k])
+            r = int(grid64_links.tails[k])
+            snd, rcv = state.members()
+            # Exact oracle: half-duplex sharing check + full SINR re-test.
+            shares_node = bool(
+                np.isin([s, r], np.concatenate([snd, rcv])).any()
+            )
+            exact = (
+                not shares_node
+                and model.is_feasible(np.append(snd, s), np.append(rcv, r))
+            )
+            assert state.can_add(s, r) == exact
+            if exact and added < 6:
+                state.add(s, r)
+                added += 1
+        assert state.is_feasible()
+
+    def test_try_add_only_keeps_feasible(self, grid16):
+        model = grid16.model
+        state = SlotState(model)
+        assert state.try_add(0, 1)
+        # The same sender again violates half-duplex/sharing.
+        assert not state.try_add(0, 2)
+        assert len(state) == 1
+
+
+class TestGreedyPhysical:
+    def test_schedule_feasible_and_complete(self, grid64, grid64_links):
+        schedule = greedy_physical(grid64_links, grid64.model)
+        report = verify_schedule(schedule, grid64.model)
+        assert report.ok
+        assert schedule_is_feasible(schedule, grid64.model)
+
+    def test_never_longer_than_linear(self, grid64, grid64_links):
+        schedule = greedy_physical(grid64_links, grid64.model)
+        assert schedule.length <= grid64_links.total_demand
+
+    def test_zero_demand_links_get_no_slots(self, grid16):
+        # Nodes 1 and 4 are lattice neighbors of node 0 in the 4x4 grid.
+        links = LinkSet(
+            heads=np.array([1, 4]),
+            tails=np.array([0, 0]),
+            demand=np.array([0, 2]),
+            ids=np.array([1, 4]),
+        )
+        schedule = greedy_physical(links, grid16.model)
+        assert schedule.allocations().tolist() == [0, 2]
+
+    def test_infeasible_link_raises(self, grid16):
+        # Link between the two most distant corners cannot close alone.
+        links = LinkSet(
+            heads=np.array([0]),
+            tails=np.array([15]),
+            demand=np.array([1]),
+            ids=np.array([0]),
+        )
+        if not grid16.comm_adj[0, 15]:
+            with pytest.raises(ValueError, match="infeasible even alone"):
+                greedy_physical(links, grid16.model)
+
+    def test_custom_ordering_callable(self, grid64, grid64_links):
+        reverse = lambda links, model: np.argsort(links.ids).astype(np.intp)
+        schedule = greedy_physical(grid64_links, grid64.model, ordering=reverse)
+        assert verify_schedule(schedule, grid64.model).ok
+
+
+class TestOrderings:
+    def test_order_by_id_descending(self, grid64, grid64_links):
+        order = order_by_id(grid64_links, grid64.model)
+        ids = grid64_links.ids[order]
+        assert (np.diff(ids) < 0).all()
+
+    def test_order_by_demand_descending(self, grid64, grid64_links):
+        order = order_by_demand(grid64_links, grid64.model)
+        demands = grid64_links.demand[order]
+        assert (np.diff(demands) <= 0).all()
+
+    def test_order_by_length_weakest_first(self, grid64, grid64_links):
+        order = order_by_length(grid64_links, grid64.model)
+        signals = grid64.model.power[
+            grid64_links.heads[order], grid64_links.tails[order]
+        ]
+        assert (np.diff(signals) >= 0).all()
+
+    def test_order_by_interference_number_permutation(self, grid16, grid16_links):
+        order = order_by_interference_number(grid16_links, grid16.model)
+        assert sorted(order.tolist()) == list(range(grid16_links.n_links))
+
+
+class TestMetrics:
+    def test_improvement_of_linear_is_zero(self, grid16_links):
+        assert improvement_over_linear(linear_schedule(grid16_links)) == 0.0
+
+    def test_improvement_formula(self, grid64, grid64_links):
+        schedule = greedy_physical(grid64_links, grid64.model)
+        td = grid64_links.total_demand
+        expected = 100.0 * (td - schedule.length) / td
+        assert improvement_over_linear(schedule) == pytest.approx(expected)
+
+    def test_verifier_catches_infeasible_slot(self, grid16, grid16_links):
+        schedule = linear_schedule(grid16_links)
+        # Jam every link into the first slot: guaranteed infeasible.
+        schedule.slots[0].links = list(range(grid16_links.n_links))
+        report = verify_schedule(schedule, grid16.model)
+        assert not report.feasible
+        assert 0 in report.infeasible_slots
+
+    def test_verifier_catches_unmet_demand(self, grid16, grid16_links):
+        schedule = linear_schedule(grid16_links)
+        schedule.slots.pop()
+        report = verify_schedule(schedule, grid16.model)
+        assert not report.demand_satisfied
+        assert report.shortfall_links
+
+    def test_verifier_report_string(self, grid16, grid16_links):
+        ok = verify_schedule(linear_schedule(grid16_links), grid16.model)
+        assert "OK" in str(ok)

@@ -1,0 +1,47 @@
+"""Unit conversions: dBm <-> mW, dB <-> linear."""
+
+import numpy as np
+import pytest
+
+from repro.phy.units import db_to_linear, dbm_to_mw, linear_to_db, mw_to_dbm
+
+
+def test_dbm_to_mw_reference_points():
+    assert dbm_to_mw(0.0) == pytest.approx(1.0)
+    assert dbm_to_mw(20.0) == pytest.approx(100.0)
+    assert dbm_to_mw(-30.0) == pytest.approx(1e-3)
+
+
+def test_mw_to_dbm_roundtrip():
+    for dbm in (-90.0, -12.5, 0.0, 17.0):
+        assert mw_to_dbm(dbm_to_mw(dbm)) == pytest.approx(dbm)
+
+
+def test_mw_to_dbm_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        mw_to_dbm(0.0)
+    with pytest.raises(ValueError):
+        mw_to_dbm(-1.0)
+
+
+def test_db_linear_roundtrip():
+    for db in (-20.0, 0.0, 3.0, 10.0):
+        assert linear_to_db(db_to_linear(db)) == pytest.approx(db)
+
+
+def test_db_to_linear_reference_points():
+    assert db_to_linear(10.0) == pytest.approx(10.0)
+    assert db_to_linear(3.0) == pytest.approx(1.9953, rel=1e-3)
+
+
+def test_array_conversions_elementwise():
+    arr = np.array([-10.0, 0.0, 10.0])
+    out = dbm_to_mw(arr)
+    assert out == pytest.approx([0.1, 1.0, 10.0])
+    back = mw_to_dbm(out)
+    assert back == pytest.approx(arr)
+
+
+def test_linear_to_db_rejects_nonpositive_array():
+    with pytest.raises(ValueError):
+        linear_to_db(np.array([1.0, 0.0]))
