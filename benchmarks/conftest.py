@@ -26,6 +26,9 @@ BENCH = ExperimentProfile(
     exec_time_sweep=(5, 15, 30, 60),
     skew_sweep_s=(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0),
     id_scaling_sizes=(16, 36, 64, 100),
+    traffic_lambdas=(0.006, 0.0145, 0.019),
+    traffic_epochs=10,
+    traffic_epoch_slots=300,
     seed=20080617,
 )
 

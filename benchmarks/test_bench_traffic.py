@@ -1,0 +1,38 @@
+"""Bench for the heavy-traffic stability-region experiment (E7).
+
+Runs the closed-loop epoch harness — dynamic Poisson flows, per-link
+queues, per-epoch rescheduling for all three schedulers — at the bench
+profile and records the stability table.  Also asserts the qualitative
+science: FDD's measured stability knee must sit strictly above the
+serialized baseline's even after paying its protocol overhead.
+"""
+
+import pytest
+
+from repro.experiments.heavy_traffic import heavy_traffic_experiment
+
+
+def _knee_cells(table):
+    """Map scheduler -> knee cell from the table's summary rows."""
+    return {row[0]: row[-1] for row in table._rows if row[1] == "knee"}
+
+
+@pytest.mark.benchmark(group="traffic")
+def test_heavy_traffic_stability(benchmark, bench_profile, save_table):
+    table = benchmark.pedantic(
+        heavy_traffic_experiment, args=(bench_profile,), rounds=1, iterations=1
+    )
+    save_table("heavy_traffic", table)
+    rates = len(bench_profile.traffic_lambdas)
+    assert table.n_rows == 3 * rates + 3  # 3 schedulers x rates + 3 knee rows
+
+    knees = _knee_cells(table)
+    assert set(knees) == {"Serialized", "GreedyPhysical", "FDD"}
+    # A "-" cell means no swept rate was stable (knee is None).
+    assert knees["Serialized"] != "-", "serialized baseline unstable everywhere"
+    assert knees["FDD"] != "-", "FDD unstable even at the lowest swept rate"
+    serialized = float(knees["Serialized"])
+    fdd = float(knees["FDD"])
+    assert fdd > serialized, (
+        f"FDD knee {fdd} should exceed the serialized baseline's {serialized}"
+    )

@@ -24,8 +24,8 @@ Quickstart::
     result = fdd_on_network(net, links, ProtocolConfig())
     print(result.schedule.summary())
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-paper-vs-measured record.
+See DESIGN.md for the full system inventory (§4 indexes the experiment
+harnesses; measured tables live under benchmarks/results/).
 """
 
 from repro.phy import (
@@ -79,6 +79,23 @@ from repro.core.pdd import pdd_on_network
 from repro.core.fdd import fdd_on_network
 from repro.core.afdd import afdd_on_network
 from repro.simulation import PacketRuntime
+from repro.traffic import (
+    ConstantBitRate,
+    PoissonArrivals,
+    ParetoOnOff,
+    DiurnalLoad,
+    LinkQueues,
+    EpochConfig,
+    TrafficTrace,
+    run_epochs,
+    serialized_scheduler,
+    centralized_scheduler,
+    distributed_scheduler,
+    StabilityMetrics,
+    summarize_trace,
+    stability_sweep,
+    stability_knee,
+)
 from repro.mote import ScreamExperiment, run_detection_error_sweep, monitor_rssi_trace
 from repro.util.persist import (
     save_network,
@@ -138,6 +155,22 @@ __all__ = [
     "fdd_on_network",
     "afdd_on_network",
     "TimingModel",
+    # traffic
+    "ConstantBitRate",
+    "PoissonArrivals",
+    "ParetoOnOff",
+    "DiurnalLoad",
+    "LinkQueues",
+    "EpochConfig",
+    "TrafficTrace",
+    "run_epochs",
+    "serialized_scheduler",
+    "centralized_scheduler",
+    "distributed_scheduler",
+    "StabilityMetrics",
+    "summarize_trace",
+    "stability_sweep",
+    "stability_knee",
     # mote
     "ScreamExperiment",
     "run_detection_error_sweep",

@@ -33,6 +33,7 @@ from repro.experiments.theory import (
     complexity_experiment,
 )
 from repro.experiments.approximation import approximation_experiment
+from repro.experiments.heavy_traffic import heavy_traffic_experiment
 from repro.experiments.ablations import (
     truncated_k_experiment,
     orderings_experiment,
@@ -58,6 +59,7 @@ __all__ = [
     "impossibility_demo",
     "complexity_experiment",
     "approximation_experiment",
+    "heavy_traffic_experiment",
     "truncated_k_experiment",
     "orderings_experiment",
     "seal_rule_experiment",

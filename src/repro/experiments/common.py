@@ -52,6 +52,11 @@ class ExperimentProfile:
     exec_time_sweep: tuple[int, ...] = (5, 10, 15, 20, 30, 40, 50, 60)
     skew_sweep_s: tuple[float, ...] = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
     id_scaling_sizes: tuple[int, ...] = (16, 36, 64, 100, 144, 196)
+    traffic_lambdas: tuple[float, ...] = (0.006, 0.0145, 0.019)
+    traffic_epochs: int = 10
+    traffic_epoch_slots: int = 300
+    traffic_slot_seconds: float = 0.04
+    traffic_density: float = 1000.0
     seed: int = DEFAULT_SEED
 
 
@@ -67,6 +72,9 @@ QUICK = ExperimentProfile(
     exec_time_sweep=(5, 15, 30, 60),
     skew_sweep_s=(1e-6, 1e-4, 1e-2, 1.0),
     id_scaling_sizes=(16, 36, 64),
+    traffic_lambdas=(0.006, 0.019),
+    traffic_epochs=5,
+    traffic_epoch_slots=200,
 )
 
 #: The paper's protocol constants (Section VI-A).

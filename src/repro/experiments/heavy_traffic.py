@@ -1,0 +1,119 @@
+"""Heavy-traffic experiment: stability regions under online rescheduling.
+
+The evaluation axis the static figures lack (cf. arXiv:1106.1590,
+arXiv:1208.0902): sustained flow arrivals, per-link queue backlogs, and a
+schedule recomputed every epoch from the live backlogs.  For each arrival
+rate ``lambda`` (packets per node per slot) and each scheduler — the
+serialized TDMA baseline, the centralized GreedyPhysical oracle, and the FDD
+distributed protocol *charged its measured air-time overhead* — the harness
+runs the epoch loop on the paper's 8x8 planned grid and reports throughput,
+delay, and backlog growth.  The knee rows summarize each scheduler's
+stability region; the expected ordering is
+
+    serialized  <  FDD (overhead-priced)  <=  GreedyPhysical (free oracle)
+
+because spatial reuse raises capacity and distributed computation costs a
+slice of every epoch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import TextTable
+from repro.core.fdd import fdd_on_network
+from repro.experiments.common import PAPER_PROTOCOL, ExperimentProfile
+from repro.routing import build_routing_forest, planned_gateways
+from repro.scheduling.links import forest_link_set
+from repro.topology.network import grid_network
+from repro.traffic import (
+    EpochConfig,
+    PoissonArrivals,
+    TrafficTrace,
+    centralized_scheduler,
+    distributed_scheduler,
+    run_epochs,
+    serialized_scheduler,
+    stability_knee,
+    stability_sweep,
+)
+from repro.util.rng import spawn
+
+
+def heavy_traffic_experiment(profile: ExperimentProfile) -> TextTable:
+    """Stability-region sweep on the planned 8x8 grid (Section VI-A layout)."""
+    network = grid_network(8, 8, density_per_km2=profile.traffic_density)
+    gateways = planned_gateways(8, 8, 4)
+    forest = build_routing_forest(
+        network.comm_adj, gateways, rng=spawn(profile.seed, "traffic-forest")
+    )
+    # The forest link set only defines the directed links and queues; the
+    # epoch loop replaces its demand with the live backlog snapshot.
+    links = forest_link_set(forest, np.zeros(network.n_nodes, dtype=np.int64))
+
+    config = EpochConfig(
+        epoch_slots=profile.traffic_epoch_slots,
+        n_epochs=profile.traffic_epochs,
+        slot_seconds=profile.traffic_slot_seconds,
+        divergence_factor=4.0,
+    )
+    schedulers = [
+        ("Serialized", serialized_scheduler()),
+        ("GreedyPhysical", centralized_scheduler(network.model)),
+        (
+            "FDD",
+            distributed_scheduler(
+                network,
+                fdd_on_network,
+                config=PAPER_PROTOCOL,
+                seed=spawn(profile.seed, "traffic-fdd"),
+            ),
+        ),
+    ]
+
+    table = TextTable(
+        [
+            "scheduler",
+            "lambda (pkt/node/slot)",
+            "throughput (pkt/slot)",
+            "mean delay (slots)",
+            "p99 delay (slots)",
+            "backlog growth (pkt/epoch)",
+            "stable",
+        ],
+        title="Heavy-traffic stability regions — 8x8 planned grid, "
+        f"density {profile.traffic_density:g}/km^2, Poisson arrivals, "
+        f"T={profile.traffic_epoch_slots} slots/epoch",
+    )
+    knees: list[tuple[str, float | None]] = []
+    for name, scheduler in schedulers:
+
+        def run_at(rate: float, scheduler=scheduler) -> TrafficTrace:
+            # Common random numbers: every scheduler faces the identical
+            # arrival sample path, so knee differences are scheduler capacity,
+            # not workload luck.
+            generator = PoissonArrivals(
+                network.n_nodes,
+                rate,
+                gateways=gateways,
+                seed=spawn(profile.seed, "traffic-gen"),
+            )
+            return run_epochs(links, generator, scheduler, config)
+
+        points = stability_sweep(profile.traffic_lambdas, run_at)
+        knees.append((name, stability_knee(points)))
+        for point in points:
+            table.add_row(
+                name,
+                f"{point.offered_rate:g}",
+                f"{point.throughput:.3f}",
+                f"{point.mean_delay:.1f}",
+                f"{point.p99_delay:.0f}",
+                f"{point.backlog_slope:+.1f}",
+                "yes" if point.stable else "NO",
+            )
+    for name, knee in knees:
+        table.add_row(
+            name, "knee", "-", "-", "-", "-", "-" if knee is None else f"{knee:g}"
+        )
+    return table

@@ -22,6 +22,7 @@ from repro.experiments import (
     ablations,
     approximation,
     exec_time,
+    heavy_traffic,
     mote_detection,
     schedule_quality,
     theory,
@@ -44,6 +45,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentProfile], TextTable]]] = {
     "clock-skew": (
         "E6/Fig9 — execution time vs clock-skew bound",
         exec_time.clock_skew_experiment,
+    ),
+    "heavy-traffic": (
+        "E7 — stability regions under dynamic flows and online rescheduling",
+        heavy_traffic.heavy_traffic_experiment,
     ),
     "mote-error": (
         "E1/Fig4 — SCREAM detection error vs SCREAM size (mote testbed)",

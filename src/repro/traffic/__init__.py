@@ -1,0 +1,66 @@
+"""Dynamic traffic workloads and epoch-based online rescheduling.
+
+Turns the static demand -> schedule pipeline into a closed-loop system:
+workload generators emit per-node packet arrivals each epoch, per-link FIFO
+queues accumulate them along the routing forest, and the epoch loop
+re-runs any scheduler on the live backlog snapshot — charging distributed
+protocols their measured air-time overhead — then serves the queues with
+the result.  Stability metrics locate each scheduler's capacity knee.
+See DESIGN.md §6 for the subsystem inventory.
+"""
+
+from repro.traffic.generators import (
+    TrafficGenerator,
+    ConstantBitRate,
+    PoissonArrivals,
+    ParetoOnOff,
+    DiurnalLoad,
+)
+from repro.traffic.queues import LinkQueues
+from repro.traffic.epoch import (
+    EpochConfig,
+    EpochRecord,
+    EpochSchedule,
+    EpochSchedulerFn,
+    TrafficTrace,
+    run_epochs,
+    serialized_scheduler,
+    centralized_scheduler,
+    distributed_scheduler,
+)
+from repro.traffic.stability import (
+    BACKLOG_GATE_FRACTION,
+    STABILITY_TOLERANCE,
+    StabilityMetrics,
+    backlog_slope,
+    is_stable,
+    summarize_trace,
+    stability_sweep,
+    stability_knee,
+)
+
+__all__ = [
+    "TrafficGenerator",
+    "ConstantBitRate",
+    "PoissonArrivals",
+    "ParetoOnOff",
+    "DiurnalLoad",
+    "LinkQueues",
+    "EpochConfig",
+    "EpochRecord",
+    "EpochSchedule",
+    "EpochSchedulerFn",
+    "TrafficTrace",
+    "run_epochs",
+    "serialized_scheduler",
+    "centralized_scheduler",
+    "distributed_scheduler",
+    "BACKLOG_GATE_FRACTION",
+    "STABILITY_TOLERANCE",
+    "StabilityMetrics",
+    "backlog_slope",
+    "is_stable",
+    "summarize_trace",
+    "stability_sweep",
+    "stability_knee",
+]

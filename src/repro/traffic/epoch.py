@@ -1,0 +1,272 @@
+"""Epoch-based online rescheduling: the closed traffic/scheduling loop.
+
+Every epoch of ``epoch_slots`` data slots:
+
+1. the workload generator emits this epoch's per-node packet arrivals,
+   which enter the per-link queues;
+2. the live backlogs are snapshot into a demand vector over the same link
+   set, and a scheduler (centralized GreedyPhysical, the FDD/PDD
+   distributed protocols, or the serialized baseline) is re-run on it;
+3. the scheduler's *protocol overhead* — the air time its distributed
+   computation consumed, priced by the :class:`~repro.core.timing.TimingModel`
+   — is converted into data slots and charged against the epoch;
+4. the remaining slots of the epoch play the computed schedule cyclically,
+   each played slot serving one packet on every member link with backlog.
+
+Slots are "data slots" of ``slot_seconds`` wall-clock seconds each (a slot
+carries one aggregated traffic burst); the control plane's SCREAM microslots
+are orders of magnitude shorter, which is what makes online rescheduling
+affordable — exactly the paper's argument for recomputing schedules
+"whenever traffic demands change".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.core.config import ProtocolConfig
+from repro.core.timing import TimingModel
+from repro.phy.interference import PhysicalInterferenceModel
+from repro.scheduling.greedy_physical import greedy_physical
+from repro.scheduling.linear import linear_schedule
+from repro.scheduling.links import LinkSet
+from repro.scheduling.schedule import Schedule
+from repro.topology.network import Network
+from repro.traffic.generators import TrafficGenerator
+from repro.traffic.queues import LinkQueues
+from repro.util.rng import freeze_root, spawn
+
+
+@dataclass(frozen=True)
+class EpochSchedule:
+    """A scheduler's answer for one epoch: the schedule plus its air cost."""
+
+    schedule: Schedule
+    overhead_seconds: float = 0.0
+
+
+#: A scheduler usable by the epoch loop: ``(links_with_demand, epoch) ->``
+#: :class:`EpochSchedule`.  ``links`` carries the backlog snapshot as its
+#: demand vector; ``epoch`` lets distributed schedulers derive per-epoch rngs.
+EpochSchedulerFn = Callable[[LinkSet, int], EpochSchedule]
+
+
+@dataclass(frozen=True)
+class EpochConfig:
+    """Epoch-loop parameters.
+
+    Attributes
+    ----------
+    epoch_slots:
+        Data slots per epoch (the rescheduling period ``T``).
+    n_epochs:
+        Epochs to simulate.
+    slot_seconds:
+        Wall-clock duration of one data slot, used to convert a distributed
+        scheduler's execution time into whole data slots of overhead.
+    demand_cap:
+        Optional per-link cap on the scheduled backlog snapshot (a link can
+        serve at most ``epoch_slots`` packets per epoch anyway, so capping
+        bounds scheduler cost in overload without changing stable behaviour).
+    divergence_factor:
+        When set, stop early once the end-of-epoch backlog exceeds this
+        multiple of the *mean* per-epoch arrivals so far — the signature of
+        an unstable operating point (the trace is marked ``diverged``).
+        Averaging keeps one quiet epoch of a bursty workload from reading
+        a draining post-burst backlog as divergence.
+    """
+
+    epoch_slots: int = 300
+    n_epochs: int = 10
+    slot_seconds: float = 0.04
+    demand_cap: int | None = None
+    divergence_factor: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.epoch_slots <= 0:
+            raise ValueError("epoch_slots must be positive")
+        if self.n_epochs <= 0:
+            raise ValueError("n_epochs must be positive")
+        if self.slot_seconds <= 0:
+            raise ValueError("slot_seconds must be positive")
+        if self.demand_cap is not None and self.demand_cap <= 0:
+            raise ValueError("demand_cap must be positive when given")
+        if self.divergence_factor is not None and self.divergence_factor <= 0:
+            raise ValueError("divergence_factor must be positive when given")
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Per-epoch accounting."""
+
+    epoch: int
+    arrivals: int
+    served: int  # packet-hops transmitted this epoch
+    delivered: int  # packets that reached a gateway this epoch
+    backlog_end: int
+    demand_scheduled: int
+    schedule_length: int
+    overhead_slots: int
+
+
+@dataclass
+class TrafficTrace:
+    """Outcome of a full epoch-loop run."""
+
+    config: EpochConfig
+    records: list[EpochRecord] = field(default_factory=list)
+    diverged: bool = False
+    queues: LinkQueues | None = None
+
+    @property
+    def n_epochs_run(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_slots(self) -> int:
+        return self.n_epochs_run * self.config.epoch_slots
+
+    @property
+    def delivered_total(self) -> int:
+        return sum(r.delivered for r in self.records)
+
+    @property
+    def arrivals_total(self) -> int:
+        return sum(r.arrivals for r in self.records)
+
+    def backlog_series(self) -> np.ndarray:
+        return np.asarray([r.backlog_end for r in self.records], dtype=np.int64)
+
+    def summary(self) -> str:
+        tail = " DIVERGED" if self.diverged else ""
+        backlog = self.records[-1].backlog_end if self.records else 0
+        return (
+            f"TrafficTrace(epochs={self.n_epochs_run}, "
+            f"arrivals={self.arrivals_total}, delivered={self.delivered_total}, "
+            f"backlog={backlog}{tail})"
+        )
+
+
+def run_epochs(
+    links: LinkSet,
+    generator: TrafficGenerator,
+    scheduler: EpochSchedulerFn,
+    config: EpochConfig | None = None,
+) -> TrafficTrace:
+    """Run the closed arrival/reschedule/serve loop; return its trace."""
+    cfg = config or EpochConfig()
+    queues = LinkQueues(links)
+    trace = TrafficTrace(config=cfg, queues=queues)
+    T = cfg.epoch_slots
+
+    for epoch in range(cfg.n_epochs):
+        start = epoch * T
+        arrived = queues.arrive(generator.arrivals(epoch, T), start)
+
+        snapshot = queues.backlog.copy()
+        if cfg.demand_cap is not None:
+            np.minimum(snapshot, cfg.demand_cap, out=snapshot)
+        served = 0
+        delivered_before = queues.delivered_total
+        overhead_slots = 0
+        schedule_length = 0
+
+        if snapshot.sum() > 0:
+            demand_links = replace(links, demand=snapshot)
+            planned = scheduler(demand_links, epoch)
+            schedule_length = planned.schedule.length
+            overhead_slots = math.ceil(planned.overhead_seconds / cfg.slot_seconds)
+            # Only the first T - overhead slots can ever play (the cyclic
+            # index stays below the window when the schedule is longer), so
+            # don't materialize arrays for the unplayable tail.
+            playable = max(T - overhead_slots, 0)
+            slot_links = [s.as_array() for s in planned.schedule.slots[:playable]]
+            if slot_links:
+                for t in range(overhead_slots, T):
+                    served += queues.serve_slot(
+                        slot_links[(t - overhead_slots) % len(slot_links)], start + t
+                    )
+
+        trace.records.append(
+            EpochRecord(
+                epoch=epoch,
+                arrivals=arrived,
+                served=served,
+                delivered=queues.delivered_total - delivered_before,
+                backlog_end=queues.total_backlog(),
+                demand_scheduled=int(snapshot.sum()),
+                schedule_length=schedule_length,
+                overhead_slots=overhead_slots,
+            )
+        )
+        mean_arrivals = trace.arrivals_total / trace.n_epochs_run
+        if (
+            cfg.divergence_factor is not None
+            and mean_arrivals > 0
+            and queues.total_backlog() > cfg.divergence_factor * mean_arrivals
+        ):
+            trace.diverged = True
+            break
+    return trace
+
+
+# --------------------------------------------------------------------------
+# Scheduler adapters
+# --------------------------------------------------------------------------
+
+
+def serialized_scheduler() -> EpochSchedulerFn:
+    """The zero-overhead worst case: one link per slot (TDMA round-robin)."""
+
+    def schedule(links: LinkSet, epoch: int) -> EpochSchedule:
+        return EpochSchedule(linear_schedule(links))
+
+    return schedule
+
+
+def centralized_scheduler(
+    model: PhysicalInterferenceModel,
+    ordering: str = "id",
+    overhead_seconds: float = 0.0,
+) -> EpochSchedulerFn:
+    """GreedyPhysical re-run on every epoch's backlog snapshot.
+
+    ``overhead_seconds`` lets callers charge a fixed cost for shipping
+    backlogs to and schedules from a central controller (0 models a free
+    oracle, the usual baseline).
+    """
+
+    def schedule(links: LinkSet, epoch: int) -> EpochSchedule:
+        return EpochSchedule(greedy_physical(links, model, ordering), overhead_seconds)
+
+    return schedule
+
+
+def distributed_scheduler(
+    network: Network,
+    protocol: Callable[..., object],
+    config: ProtocolConfig | None = None,
+    timing: TimingModel | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> EpochSchedulerFn:
+    """A distributed protocol (``fdd_on_network`` / ``pdd_on_network`` /
+    ``afdd_on_network``) re-run per epoch, with its execution time priced
+    from the step tally it consumed.
+
+    The protocol's schedule *is* the served schedule, and its measured air
+    time becomes the epoch's overhead — the closed-loop cost of computing
+    schedules distributedly instead of by a free centralized oracle.
+    """
+    cfg = config or ProtocolConfig()
+    price = timing or TimingModel(scream_bytes=cfg.smbytes)
+    root = freeze_root(seed)  # frozen so each epoch's rng is reproducible
+
+    def schedule(links: LinkSet, epoch: int) -> EpochSchedule:
+        result = protocol(network, links, cfg, rng=spawn(root, "epoch", epoch))
+        return EpochSchedule(result.schedule, price.execution_time(result.tally))
+
+    return schedule

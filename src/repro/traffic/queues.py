@@ -1,0 +1,138 @@
+"""Per-link FIFO backlogs along the routing forest.
+
+Packets enter the network at their source node's own tree link (the paper's
+one-to-one node/edge mapping), are relayed link-by-link toward the gateway,
+and leave the system when the link into a gateway serves them.  The hot
+state — the per-link backlog vector consulted every served slot — is a
+single numpy ``int64`` array; arrivals enter through one push per *source
+node with traffic* (a batch, however many packets it generated).  FIFO
+order and per-packet delays are tracked beside the backlog vector in
+per-link batch queues (``[birth_slot, count]`` pairs), which stay tiny
+because same-birth packets coalesce.
+
+Conservation invariant (asserted by the unit tests): at any time,
+``arrivals_total == delivered_total + backlog.sum()`` — every packet is in
+exactly one queue until the gateway link delivers it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.scheduling.links import LinkSet
+
+
+class LinkQueues:
+    """FIFO queues, one per directed link of a forest :class:`LinkSet`.
+
+    Parameters
+    ----------
+    links:
+        A *forest* link set (one link per head node): relaying needs the
+        unique next link up the tree, which is looked up through
+        ``links.link_of_head``.
+    """
+
+    def __init__(self, links: LinkSet):
+        self.links = links
+        n = links.n_links
+        by_head = links.link_of_head  # raises for non-forest link sets
+        self._by_head = by_head
+        # next_link[k]: the link whose head is k's tail, or -1 when the tail
+        # is a gateway (delivery).
+        self.next_link = np.array(
+            [by_head.get(int(t), -1) for t in links.tails], dtype=np.intp
+        )
+        self.backlog = np.zeros(n, dtype=np.int64)
+        self._fifo: list[deque[list[int]]] = [deque() for _ in range(n)]
+        self.arrivals_total = 0
+        self.delivered_total = 0
+        self.served_total = 0  # packet-hops: every successful transmission
+        self.delays: list[int] = []  # per delivered packet, in slots
+
+    @property
+    def n_links(self) -> int:
+        return self.links.n_links
+
+    def total_backlog(self) -> int:
+        return int(self.backlog.sum())
+
+    def arrive(self, node_arrivals: np.ndarray, time: int) -> int:
+        """Enqueue per-node arrivals at their source links; return the count.
+
+        ``node_arrivals`` is indexed by node; nodes that head no link
+        (gateways) must have zero arrivals.
+        """
+        counts = np.asarray(node_arrivals, dtype=np.int64)
+        if np.any(counts < 0):
+            raise ValueError("arrival counts must be non-negative")
+        by_head = self._by_head
+        total = 0
+        for node in np.flatnonzero(counts):
+            k = by_head.get(int(node))
+            if k is None:
+                raise ValueError(
+                    f"node {int(node)} heads no link but generated "
+                    f"{int(counts[node])} packets (is it a gateway?)"
+                )
+            self._push(k, int(time), int(counts[node]))
+            total += int(counts[node])
+        self.arrivals_total += total
+        return total
+
+    def serve_slot(self, link_indices: np.ndarray, time: int) -> int:
+        """Serve one slot: every listed backlogged link forwards one packet.
+
+        All transmissions in the slot are simultaneous: packets are popped
+        first and routed after, so a packet cannot traverse two hops within
+        one slot.  Returns the number of packets served (packet-hops).
+        """
+        idx = np.asarray(link_indices, dtype=np.intp)
+        ready = idx[self.backlog[idx] > 0]
+        moves: list[tuple[int, int]] = []  # (next link or -1, birth slot)
+        for k in ready:
+            moves.append((int(self.next_link[k]), self._pop(int(k))))
+        for nxt, birth in moves:
+            if nxt < 0:
+                self.delivered_total += 1
+                self.delays.append(int(time) - birth + 1)
+            else:
+                self._push(nxt, birth, 1)
+        self.served_total += len(moves)
+        return len(moves)
+
+    def delay_array(self) -> np.ndarray:
+        """Delays of all delivered packets so far, in slots."""
+        return np.asarray(self.delays, dtype=np.int64)
+
+    def check_conservation(self) -> None:
+        """Raise :class:`AssertionError` if any packet was lost or duplicated."""
+        queued = self.total_backlog()
+        if self.arrivals_total != self.delivered_total + queued:
+            raise AssertionError(
+                f"packet conservation violated: {self.arrivals_total} arrived, "
+                f"{self.delivered_total} delivered, {queued} queued"
+            )
+
+    def _push(self, k: int, birth: int, count: int) -> None:
+        fifo = self._fifo[k]
+        if fifo and fifo[-1][0] == birth:
+            fifo[-1][1] += count
+        else:
+            fifo.append([birth, count])
+        self.backlog[k] += count
+
+    def _pop(self, k: int) -> int:
+        """Remove the oldest packet from queue ``k``; return its birth slot."""
+        fifo = self._fifo[k]
+        if not fifo:
+            raise IndexError(f"queue {k} is empty")
+        head = fifo[0]
+        head[1] -= 1
+        birth = head[0]
+        if head[1] == 0:
+            fifo.popleft()
+        self.backlog[k] -= 1
+        return birth

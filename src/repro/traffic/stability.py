@@ -1,0 +1,139 @@
+"""Throughput, delay, backlog-growth, and stability-region metrics.
+
+A scheduler is *stable* at an arrival rate when queue backlogs stay bounded
+— served work keeps up with offered work.  We detect instability from the
+end-of-epoch backlog series: a least-squares slope that grows by more than a
+tolerance fraction of the per-epoch arrivals (or a divergence early-stop in
+the epoch loop) marks the operating point unstable.  Sweeping the arrival
+rate upward and recording the last stable point before the first unstable
+one locates the *knee* of the stability region — the per-scheduler capacity
+the heavy-traffic evaluations compare (cf. arXiv:1106.1590, arXiv:1208.0902).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.traffic.epoch import TrafficTrace
+
+#: A backlog slope above this fraction of the mean per-epoch arrivals reads
+#: as unbounded growth.  Chosen well above regression noise on stable runs
+#: and well below the growth of even mildly overloaded ones.
+STABILITY_TOLERANCE = 0.05
+
+#: Magnitude gate on the slope test: a positive slope only counts as
+#: instability once the final backlog itself reaches this fraction of one
+#: epoch's arrivals.  A stable queue empties (almost) every epoch, so its
+#: backlog series is small-integer noise whose fitted slope can spike; a
+#: genuinely unstable queue accumulates epoch after epoch and clears the
+#: gate within a few epochs.
+BACKLOG_GATE_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class StabilityMetrics:
+    """Steady-state metrics of one (scheduler, arrival-rate) operating point."""
+
+    offered_rate: float  # packets per node per slot (the swept lambda)
+    throughput: float  # delivered packets per slot
+    mean_delay: float  # slots, over delivered packets (nan if none)
+    p99_delay: float  # slots (nan if none delivered)
+    backlog_final: int
+    backlog_slope: float  # packets per epoch, least squares over the tail
+    stable: bool
+
+    def __str__(self) -> str:
+        state = "stable" if self.stable else "UNSTABLE"
+        return (
+            f"lambda={self.offered_rate:g}: throughput={self.throughput:.3f} pkt/slot, "
+            f"delay={self.mean_delay:.1f}/{self.p99_delay:.0f} slots (mean/p99), "
+            f"backlog={self.backlog_final} ({self.backlog_slope:+.1f}/epoch, {state})"
+        )
+
+
+def backlog_slope(trace: TrafficTrace, tail_fraction: float = 0.5) -> float:
+    """Least-squares slope (packets/epoch) of the trailing backlog series."""
+    series = trace.backlog_series()
+    if series.size < 2:
+        return 0.0
+    start = int(series.size * (1.0 - tail_fraction))
+    tail = series[start:].astype(float)
+    if tail.size < 2:
+        tail = series.astype(float)
+    x = np.arange(tail.size, dtype=float)
+    return float(np.polyfit(x, tail, 1)[0])
+
+
+def is_stable(trace: TrafficTrace, tolerance: float = STABILITY_TOLERANCE) -> bool:
+    """Bounded-backlog check.
+
+    Unstable when the epoch loop's divergence guard fired, or when the
+    trailing backlog slope exceeds ``tolerance`` of the per-epoch arrivals
+    *and* the final backlog has actually accumulated past the
+    :data:`BACKLOG_GATE_FRACTION` magnitude gate.
+    """
+    if trace.diverged:
+        return False
+    if not trace.records:
+        return True
+    arrivals_per_epoch = trace.arrivals_total / trace.n_epochs_run
+    growing = backlog_slope(trace) > max(tolerance * arrivals_per_epoch, 1.0)
+    accumulated = (
+        trace.records[-1].backlog_end > BACKLOG_GATE_FRACTION * arrivals_per_epoch
+    )
+    return not (growing and accumulated)
+
+
+def summarize_trace(
+    trace: TrafficTrace,
+    offered_rate: float,
+    tolerance: float = STABILITY_TOLERANCE,
+) -> StabilityMetrics:
+    """Collapse a trace into one stability-region data point."""
+    slots = max(trace.total_slots, 1)
+    delays = (
+        trace.queues.delay_array() if trace.queues is not None else np.empty(0, np.int64)
+    )
+    return StabilityMetrics(
+        offered_rate=float(offered_rate),
+        throughput=trace.delivered_total / slots,
+        mean_delay=float(delays.mean()) if delays.size else float("nan"),
+        p99_delay=float(np.percentile(delays, 99)) if delays.size else float("nan"),
+        backlog_final=trace.records[-1].backlog_end if trace.records else 0,
+        backlog_slope=backlog_slope(trace),
+        stable=is_stable(trace, tolerance),
+    )
+
+
+def stability_sweep(
+    rates: Sequence[float],
+    run_at: Callable[[float], TrafficTrace],
+    tolerance: float = STABILITY_TOLERANCE,
+) -> list[StabilityMetrics]:
+    """Evaluate one scheduler across an ascending arrival-rate sweep.
+
+    ``run_at(rate)`` runs the epoch loop at that offered rate (typically by
+    scaling a template generator with
+    :meth:`~repro.traffic.generators.TrafficGenerator.scaled`).
+    """
+    swept = sorted(float(r) for r in rates)
+    return [summarize_trace(run_at(rate), rate, tolerance) for rate in swept]
+
+
+def stability_knee(points: Sequence[StabilityMetrics]) -> float | None:
+    """The knee of the stability region: the last stable rate before the
+    first unstable one (``None`` when even the lowest rate is unstable).
+
+    When every swept point is stable the largest tested rate is returned —
+    a lower bound on the true knee, as the sweep never found the boundary.
+    """
+    ordered = sorted(points, key=lambda m: m.offered_rate)
+    knee: float | None = None
+    for point in ordered:
+        if not point.stable:
+            break
+        knee = point.offered_rate
+    return knee

@@ -34,6 +34,27 @@ def ensure_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Gener
     )
 
 
+def freeze_root(seed_or_rng: int | np.random.Generator | None) -> int:
+    """Collapse ``seed_or_rng`` into a fixed entropy integer, once.
+
+    Components that must re-derive identical child streams on every call
+    (e.g. per-epoch workload draws) freeze their root at construction time:
+    ``None`` becomes :data:`DEFAULT_SEED`, an integer passes through, and a
+    live generator is consulted exactly once.  The mapping mirrors
+    :func:`spawn`'s own root handling, so frozen and unfrozen call sites
+    derive the same streams for ``None``/int roots.
+    """
+    if seed_or_rng is None:
+        return DEFAULT_SEED
+    if isinstance(seed_or_rng, np.random.Generator):
+        return int(seed_or_rng.integers(0, 2**63 - 1))
+    if isinstance(seed_or_rng, (int, np.integer)):
+        return int(seed_or_rng)
+    raise TypeError(
+        f"expected None, int, or numpy Generator, got {type(seed_or_rng).__name__}"
+    )
+
+
 def spawn(root: int | np.random.Generator | None, *key: int | str) -> np.random.Generator:
     """Derive an independent generator from ``root`` and a hashable key path.
 
@@ -44,11 +65,7 @@ def spawn(root: int | np.random.Generator | None, *key: int | str) -> np.random.
     String keys are folded to stable 32-bit integers so call sites can use
     readable labels, e.g. ``spawn(seed, "demand", rep)``.
     """
-    if isinstance(root, np.random.Generator):
-        # Child of a live generator: draw entropy from it deterministically.
-        entropy = int(root.integers(0, 2**63 - 1))
-    else:
-        entropy = DEFAULT_SEED if root is None else int(root)
+    entropy = freeze_root(root)
     folded = [_fold_key(k) for k in key]
     return np.random.default_rng(np.random.SeedSequence([entropy, *folded]))
 

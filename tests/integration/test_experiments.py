@@ -202,3 +202,25 @@ class TestApproximationAndSkewAblation:
         assert float(table._rows[0][1]) == 0.0
         # Well past it (last row): substantial loss.
         assert float(table._rows[-1][1]) > 50.0
+
+
+class TestHeavyTraffic:
+    def test_stability_table_shape_and_knee_rows(self):
+        from dataclasses import replace
+
+        from repro.experiments.heavy_traffic import heavy_traffic_experiment
+
+        tiny = replace(
+            TINY,
+            traffic_lambdas=(0.004,),
+            traffic_epochs=2,
+            traffic_epoch_slots=80,
+        )
+        table = heavy_traffic_experiment(tiny)
+        # 3 schedulers x 1 rate + 3 knee summary rows.
+        assert table.n_rows == 6
+        knees = {row[0]: row[-1] for row in table._rows if row[1] == "knee"}
+        assert set(knees) == {"Serialized", "GreedyPhysical", "FDD"}
+        # At a rate this low every scheduler is stable, so every knee is the
+        # top of the sweep.
+        assert all(value == "0.004" for value in knees.values())

@@ -1,0 +1,113 @@
+"""Unit tests for per-link FIFO queues: routing, FIFO order, conservation."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling.links import LinkSet
+from repro.traffic import LinkQueues
+
+
+def chain_links():
+    """A 3-node chain 2 -> 1 -> 0 with node 0 the gateway (two links)."""
+    return LinkSet(
+        heads=np.array([1, 2]),
+        tails=np.array([0, 1]),
+        demand=np.array([0, 0]),
+        ids=np.array([1, 2]),
+    )
+
+
+class TestRoutingAndArrivals:
+    def test_next_link_follows_forest(self):
+        queues = LinkQueues(chain_links())
+        assert queues.next_link[1] == 0  # link of node 2 relays into node 1's
+        assert queues.next_link[0] == -1  # node 1's link delivers to gateway
+
+    def test_arrivals_enter_source_link(self):
+        queues = LinkQueues(chain_links())
+        queues.arrive(np.array([0, 2, 3]), time=0)
+        np.testing.assert_array_equal(queues.backlog, [2, 3])
+        assert queues.arrivals_total == 5
+
+    def test_gateway_arrivals_rejected(self):
+        queues = LinkQueues(chain_links())
+        with pytest.raises(ValueError, match="heads no link"):
+            queues.arrive(np.array([1, 0, 0]), time=0)
+
+    def test_negative_arrivals_rejected(self):
+        queues = LinkQueues(chain_links())
+        with pytest.raises(ValueError):
+            queues.arrive(np.array([0, -1, 0]), time=0)
+
+
+class TestServing:
+    def test_single_hop_delivery_and_delay(self):
+        queues = LinkQueues(chain_links())
+        queues.arrive(np.array([0, 1, 0]), time=0)
+        served = queues.serve_slot(np.array([0]), time=0)
+        assert served == 1
+        assert queues.delivered_total == 1
+        assert queues.delays == [1]  # arrived slot 0, delivered slot 0
+        queues.check_conservation()
+
+    def test_no_two_hops_in_one_slot(self):
+        """Pops happen before pushes: a packet advances at most one hop/slot."""
+        queues = LinkQueues(chain_links())
+        queues.arrive(np.array([0, 0, 1]), time=0)
+        served = queues.serve_slot(np.array([0, 1]), time=0)
+        assert served == 1  # only link 1 had backlog
+        assert queues.delivered_total == 0
+        np.testing.assert_array_equal(queues.backlog, [1, 0])
+        served = queues.serve_slot(np.array([0, 1]), time=1)
+        assert served == 1 and queues.delivered_total == 1
+        assert queues.delays == [2]  # two hops, two slots
+        queues.check_conservation()
+
+    def test_empty_links_serve_nothing(self):
+        queues = LinkQueues(chain_links())
+        assert queues.serve_slot(np.array([0, 1]), time=0) == 0
+        assert queues.served_total == 0
+
+    def test_fifo_order_by_queue_arrival(self):
+        """Oldest packet in *this* queue leaves first."""
+        queues = LinkQueues(chain_links())
+        queues.arrive(np.array([0, 1, 0]), time=0)  # birth 0 at link 0
+        queues.arrive(np.array([0, 1, 0]), time=5)  # birth 5 at link 0
+        queues.serve_slot(np.array([0]), time=10)
+        queues.serve_slot(np.array([0]), time=20)
+        assert queues.delays == [11, 16]  # births 0 then 5, FIFO
+
+    def test_batches_coalesce_by_birth(self):
+        queues = LinkQueues(chain_links())
+        queues.arrive(np.array([0, 5, 0]), time=0)
+        assert len(queues._fifo[0]) == 1  # one batch of five
+        assert queues.backlog[0] == 5
+
+
+class TestConservation:
+    def test_random_workload_conserves_packets(self):
+        rng = np.random.default_rng(42)
+        queues = LinkQueues(chain_links())
+        time = 0
+        for _ in range(200):
+            queues.arrive(
+                np.array([0, rng.integers(0, 3), rng.integers(0, 3)]), time
+            )
+            queues.serve_slot(rng.permutation(2)[: rng.integers(1, 3)], time)
+            time += 1
+        queues.check_conservation()
+        assert (
+            queues.arrivals_total
+            == queues.delivered_total + queues.total_backlog()
+        )
+        assert queues.delivered_total > 0
+
+    def test_non_forest_link_set_rejected(self):
+        two_headed = LinkSet(
+            heads=np.array([1, 1]),
+            tails=np.array([0, 2]),
+            demand=np.array([0, 0]),
+            ids=np.array([1, 2]),
+        )
+        with pytest.raises(ValueError, match="heads more than one link"):
+            LinkQueues(two_headed)
