@@ -20,8 +20,18 @@ ordering holds off the planned grid, and a bursty Pareto on-off workload
 shows what burstiness costs at equal mean rate: far heavier delay tails
 near the knee.
 
-Run:  python examples/heavy_traffic.py        (~1-2 minutes; FDD dominates)
+Finally, the incremental-rescheduling layer (DESIGN.md §7): re-running FDD
+every epoch pays its protocol overhead T times for near-identical demand
+vectors.  With ``reschedule_policy="patch"`` the epoch loop reuses the
+cached schedule while backlogs drift little and locally repairs it when
+they don't, recomputing only as a last resort — the example measures the
+amortization (an order of magnitude fewer overhead slots at the same
+operating point, stability intact).
+
+Run:  python examples/heavy_traffic.py        (~2-3 minutes; FDD dominates)
 """
+
+from dataclasses import replace
 
 from repro import (
     EpochConfig,
@@ -143,6 +153,41 @@ def main() -> None:
     print(
         f"==> FDD sustains lambda={knee_fdd:g} vs serialized {knee_linear:g} "
         "on the grid: spatial reuse beats its protocol overhead.\n"
+    )
+
+    # ---- Incremental rescheduling: amortize FDD's protocol overhead by
+    # reusing (and patching) cached schedules across low-drift epochs.
+    reuse_rate = 0.0145  # stable for FDD on this grid under every policy
+    print(
+        "Incremental rescheduling — FDD at lambda="
+        f"{reuse_rate:g}, policies vs overhead:"
+    )
+    overheads = {}
+    for policy in ("always", "drift-threshold", "patch"):
+        scheduler = distributed_scheduler(
+            network, fdd_on_network, seed=spawn(SEED, "fdd")
+        )
+        trace = run_epochs(
+            links,
+            poisson(reuse_rate),
+            scheduler,
+            replace(config, reschedule_policy=policy),
+            model=network.model,
+        )
+        overheads[policy] = trace.overhead_slots_total
+        print(
+            f"  {policy:<16} overhead={trace.overhead_slots_total:4d} slots, "
+            f"cache hits={trace.cache_hits}, patched={trace.patched_epochs}, "
+            f"delivered={trace.delivered_total}"
+        )
+    assert overheads["patch"] * 3 <= overheads["always"], (
+        f"patching should amortize >= 3x: paid {overheads['patch']} vs "
+        f"always {overheads['always']} overhead slots"
+    )
+    print(
+        f"==> caching with patching pays {overheads['patch']} overhead slots "
+        f"where re-running every epoch pays {overheads['always']} — "
+        f"{overheads['always'] / max(overheads['patch'], 1):.0f}x cheaper.\n"
     )
 
     # ---- Same sweep, bursty heavy-tailed sources: at equal mean rate,

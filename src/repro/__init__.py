@@ -87,6 +87,8 @@ from repro.traffic import (
     LinkQueues,
     EpochConfig,
     TrafficTrace,
+    ScheduleCache,
+    patch_schedule,
     run_epochs,
     serialized_scheduler,
     centralized_scheduler,
@@ -95,6 +97,7 @@ from repro.traffic import (
     summarize_trace,
     stability_sweep,
     stability_knee,
+    find_knee,
 )
 from repro.mote import ScreamExperiment, run_detection_error_sweep, monitor_rssi_trace
 from repro.util.persist import (
@@ -163,6 +166,8 @@ __all__ = [
     "LinkQueues",
     "EpochConfig",
     "TrafficTrace",
+    "ScheduleCache",
+    "patch_schedule",
     "run_epochs",
     "serialized_scheduler",
     "centralized_scheduler",
@@ -171,6 +176,7 @@ __all__ = [
     "summarize_trace",
     "stability_sweep",
     "stability_knee",
+    "find_knee",
     # mote
     "ScreamExperiment",
     "run_detection_error_sweep",

@@ -33,7 +33,10 @@ from repro.experiments.theory import (
     complexity_experiment,
 )
 from repro.experiments.approximation import approximation_experiment
-from repro.experiments.heavy_traffic import heavy_traffic_experiment
+from repro.experiments.heavy_traffic import (
+    heavy_traffic_experiment,
+    incremental_experiment,
+)
 from repro.experiments.ablations import (
     truncated_k_experiment,
     orderings_experiment,
@@ -60,6 +63,7 @@ __all__ = [
     "complexity_experiment",
     "approximation_experiment",
     "heavy_traffic_experiment",
+    "incremental_experiment",
     "truncated_k_experiment",
     "orderings_experiment",
     "seal_rule_experiment",

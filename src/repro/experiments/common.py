@@ -57,6 +57,14 @@ class ExperimentProfile:
     traffic_epoch_slots: int = 300
     traffic_slot_seconds: float = 0.04
     traffic_density: float = 1000.0
+    #: Independent arrival seeds for majority-resolving borderline stability
+    #: verdicts (de-flakes operating points at utilization ~ 1).
+    traffic_confirm_seeds: int = 3
+    #: Rescheduling policies compared on the incremental-rescheduling axis.
+    traffic_policies: tuple[str, ...] = ("always", "drift-threshold", "patch")
+    #: Base drift threshold for the caching policies (headroom-scaled);
+    #: None uses the library default (incremental.DEFAULT_DRIFT_THRESHOLD).
+    traffic_drift_threshold: float | None = None
     seed: int = DEFAULT_SEED
 
 

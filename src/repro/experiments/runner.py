@@ -50,6 +50,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentProfile], TextTable]]] = {
         "E7 — stability regions under dynamic flows and online rescheduling",
         heavy_traffic.heavy_traffic_experiment,
     ),
+    "incremental": (
+        "E8 — incremental epoch rescheduling: schedule caching and patching",
+        heavy_traffic.incremental_experiment,
+    ),
     "mote-error": (
         "E1/Fig4 — SCREAM detection error vs SCREAM size (mote testbed)",
         mote_detection.mote_error_experiment,

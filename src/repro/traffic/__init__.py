@@ -28,12 +28,29 @@ from repro.traffic.epoch import (
     centralized_scheduler,
     distributed_scheduler,
 )
+from repro.traffic.incremental import (
+    DEFAULT_DRIFT_THRESHOLD,
+    DRIFT_METRICS,
+    RESCHEDULE_POLICIES,
+    CacheDecision,
+    CacheStats,
+    ScheduleCache,
+    drift_l1,
+    drift_linf,
+    patch_schedule,
+)
 from repro.traffic.stability import (
     BACKLOG_GATE_FRACTION,
+    BORDERLINE_HYSTERESIS,
+    CONFIRM_SEEDS,
     STABILITY_TOLERANCE,
     StabilityMetrics,
     backlog_slope,
+    find_knee,
+    is_borderline,
     is_stable,
+    majority_stable,
+    stability_margin,
     summarize_trace,
     stability_sweep,
     stability_knee,
@@ -55,11 +72,26 @@ __all__ = [
     "serialized_scheduler",
     "centralized_scheduler",
     "distributed_scheduler",
+    "DEFAULT_DRIFT_THRESHOLD",
+    "DRIFT_METRICS",
+    "RESCHEDULE_POLICIES",
+    "CacheDecision",
+    "CacheStats",
+    "ScheduleCache",
+    "drift_l1",
+    "drift_linf",
+    "patch_schedule",
     "BACKLOG_GATE_FRACTION",
+    "BORDERLINE_HYSTERESIS",
+    "CONFIRM_SEEDS",
     "STABILITY_TOLERANCE",
     "StabilityMetrics",
     "backlog_slope",
+    "find_knee",
+    "is_borderline",
     "is_stable",
+    "majority_stable",
+    "stability_margin",
     "summarize_trace",
     "stability_sweep",
     "stability_knee",

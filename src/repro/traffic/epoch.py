@@ -18,6 +18,15 @@ carries one aggregated traffic burst); the control plane's SCREAM microslots
 are orders of magnitude shorter, which is what makes online rescheduling
 affordable — exactly the paper's argument for recomputing schedules
 "whenever traffic demands change".
+
+Step 2 need not re-run the scheduler from scratch: with
+``reschedule_policy`` set to ``"drift-threshold"`` or ``"patch"`` the loop
+routes scheduling through a :class:`~repro.traffic.incremental.ScheduleCache`
+that reuses (or locally repairs) the previous schedule while the backlog
+snapshot has drifted little from the one the schedule was built for —
+cache-hit epochs charge **zero** overhead slots, amortizing a distributed
+protocol's air time across quiet epochs (see
+:mod:`repro.traffic.incremental`).
 """
 
 from __future__ import annotations
@@ -78,6 +87,22 @@ class EpochConfig:
         an unstable operating point (the trace is marked ``diverged``).
         Averaging keeps one quiet epoch of a bursty workload from reading
         a draining post-burst backlog as divergence.
+    reschedule_policy:
+        ``"always"`` re-runs the scheduler every epoch (the default);
+        ``"drift-threshold"`` reuses the cached schedule while the backlog
+        snapshot's drift stays at or under ``drift_threshold``;
+        ``"patch"`` additionally repairs the cached schedule on a miss
+        before falling back to a full re-run.  See
+        :mod:`repro.traffic.incremental`.
+    drift_threshold:
+        Base normalized drift at or under which the cached schedule is
+        reused (0 reuses only byte-identical snapshots; ``None`` resolves
+        to :data:`repro.traffic.incremental.DEFAULT_DRIFT_THRESHOLD`).
+        The cache scales it by the cached schedule's service headroom —
+        see :class:`repro.traffic.incremental.ScheduleCache`.
+    drift_metric:
+        ``"l1"`` or ``"linf"`` — see
+        :data:`repro.traffic.incremental.DRIFT_METRICS`.
     """
 
     epoch_slots: int = 300
@@ -85,6 +110,9 @@ class EpochConfig:
     slot_seconds: float = 0.04
     demand_cap: int | None = None
     divergence_factor: float | None = None
+    reschedule_policy: str = "always"
+    drift_threshold: float | None = None  # None -> DEFAULT_DRIFT_THRESHOLD
+    drift_metric: str = "l1"
 
     def __post_init__(self) -> None:
         if self.epoch_slots <= 0:
@@ -97,6 +125,27 @@ class EpochConfig:
             raise ValueError("demand_cap must be positive when given")
         if self.divergence_factor is not None and self.divergence_factor <= 0:
             raise ValueError("divergence_factor must be positive when given")
+        # Imported lazily: incremental.py imports EpochSchedule from here.
+        from repro.traffic.incremental import (
+            DEFAULT_DRIFT_THRESHOLD,
+            DRIFT_METRICS,
+            RESCHEDULE_POLICIES,
+        )
+
+        if self.reschedule_policy not in RESCHEDULE_POLICIES:
+            raise ValueError(
+                f"reschedule_policy must be one of {RESCHEDULE_POLICIES}, "
+                f"got {self.reschedule_policy!r}"
+            )
+        if self.drift_threshold is None:
+            object.__setattr__(self, "drift_threshold", DEFAULT_DRIFT_THRESHOLD)
+        if self.drift_threshold < 0:
+            raise ValueError("drift_threshold must be non-negative")
+        if self.drift_metric not in DRIFT_METRICS:
+            raise ValueError(
+                f"drift_metric must be one of {sorted(DRIFT_METRICS)}, "
+                f"got {self.drift_metric!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -110,7 +159,10 @@ class EpochRecord:
     backlog_end: int
     demand_scheduled: int
     schedule_length: int
-    overhead_slots: int
+    overhead_slots: int  # clamped to epoch_slots: overhead can eat at most the epoch
+    cache_hit: bool = False  # schedule reused from cache, zero overhead
+    patched: bool = False  # schedule repaired in place, zero overhead
+    drift: float = 0.0  # snapshot drift vs the cached baseline (0 when uncached)
 
 
 @dataclass
@@ -138,6 +190,35 @@ class TrafficTrace:
     def arrivals_total(self) -> int:
         return sum(r.arrivals for r in self.records)
 
+    @property
+    def overhead_slots_total(self) -> int:
+        """Protocol overhead paid across the run, in data slots."""
+        return sum(r.overhead_slots for r in self.records)
+
+    @property
+    def cache_hits(self) -> int:
+        """Epochs served from the schedule cache (reused verbatim)."""
+        return sum(1 for r in self.records if r.cache_hit)
+
+    @property
+    def patched_epochs(self) -> int:
+        """Epochs served by a patched (locally repaired) schedule."""
+        return sum(1 for r in self.records if r.patched)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of *scheduling requests* answered from cache.
+
+        Zero-demand epochs never invoke the scheduler, so they count
+        neither way — a bursty workload that drains between bursts is not
+        penalized for the epochs it asked nothing of the cache (matches
+        :attr:`~repro.traffic.incremental.CacheStats.hit_rate`).
+        """
+        requests = sum(1 for r in self.records if r.demand_scheduled > 0)
+        if requests == 0:
+            return 0.0
+        return (self.cache_hits + self.patched_epochs) / requests
+
     def backlog_series(self) -> np.ndarray:
         return np.asarray([r.backlog_end for r in self.records], dtype=np.int64)
 
@@ -156,9 +237,33 @@ def run_epochs(
     generator: TrafficGenerator,
     scheduler: EpochSchedulerFn,
     config: EpochConfig | None = None,
+    model: PhysicalInterferenceModel | None = None,
 ) -> TrafficTrace:
-    """Run the closed arrival/reschedule/serve loop; return its trace."""
+    """Run the closed arrival/reschedule/serve loop; return its trace.
+
+    When ``config.reschedule_policy`` is not ``"always"`` the scheduler is
+    wrapped in a fresh :class:`~repro.traffic.incremental.ScheduleCache`
+    (``model`` is required for the ``"patch"`` policy's SINR checks); a
+    :class:`~repro.traffic.incremental.ScheduleCache` passed directly as
+    ``scheduler`` is used as-is, whatever the policy says, and its per-epoch
+    decisions are recorded either way.
+    """
+    # Imported here, not at module top: incremental.py imports EpochSchedule
+    # from this module.
+    from repro.traffic.incremental import ScheduleCache
+
     cfg = config or EpochConfig()
+    cache = scheduler if isinstance(scheduler, ScheduleCache) else None
+    if cache is None and cfg.reschedule_policy != "always":
+        cache = ScheduleCache(
+            scheduler,
+            policy=cfg.reschedule_policy,
+            drift_threshold=cfg.drift_threshold,
+            metric=cfg.drift_metric,
+            model=model,
+            epoch_slots=cfg.epoch_slots,
+        )
+        scheduler = cache
     queues = LinkQueues(links)
     trace = TrafficTrace(config=cfg, queues=queues)
     T = cfg.epoch_slots
@@ -174,16 +279,29 @@ def run_epochs(
         delivered_before = queues.delivered_total
         overhead_slots = 0
         schedule_length = 0
+        cache_hit = False
+        patched = False
+        drift = 0.0
 
         if snapshot.sum() > 0:
             demand_links = replace(links, demand=snapshot)
             planned = scheduler(demand_links, epoch)
+            if cache is not None and cache.last_decision is not None:
+                decision = cache.last_decision
+                cache_hit = decision.hit
+                patched = decision.patched
+                drift = decision.drift if math.isfinite(decision.drift) else 0.0
             schedule_length = planned.schedule.length
-            overhead_slots = math.ceil(planned.overhead_seconds / cfg.slot_seconds)
+            # Clamp: a scheduler slower than the epoch consumes the whole
+            # epoch and serves nothing — never a negative remainder, never a
+            # modulo wrap, and the recorded overhead never exceeds T.
+            overhead_slots = min(
+                math.ceil(planned.overhead_seconds / cfg.slot_seconds), T
+            )
             # Only the first T - overhead slots can ever play (the cyclic
             # index stays below the window when the schedule is longer), so
             # don't materialize arrays for the unplayable tail.
-            playable = max(T - overhead_slots, 0)
+            playable = T - overhead_slots
             slot_links = [s.as_array() for s in planned.schedule.slots[:playable]]
             if slot_links:
                 for t in range(overhead_slots, T):
@@ -201,6 +319,9 @@ def run_epochs(
                 demand_scheduled=int(snapshot.sum()),
                 schedule_length=schedule_length,
                 overhead_slots=overhead_slots,
+                cache_hit=cache_hit,
+                patched=patched,
+                drift=drift,
             )
         )
         mean_arrivals = trace.arrivals_total / trace.n_epochs_run

@@ -8,11 +8,20 @@ the epoch loop) marks the operating point unstable.  Sweeping the arrival
 rate upward and recording the last stable point before the first unstable
 one locates the *knee* of the stability region — the per-scheduler capacity
 the heavy-traffic evaluations compare (cf. arXiv:1106.1590, arXiv:1208.0902).
+
+Operating points that sit *at* utilization ≈ 1 are genuinely marginal: their
+verdict flips with the arrival sample path (the FDD λ=0.019 point on the 8×8
+grid did exactly that).  :func:`stability_sweep` therefore re-evaluates
+*borderline* points — those whose instability margin falls inside a
+hysteresis band around the decision threshold — over several independent
+arrival seeds and takes the majority verdict, so a knee is pinned by the
+ensemble rather than by one lucky (or unlucky) sample path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import inspect
+from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 import numpy as np
@@ -32,6 +41,15 @@ STABILITY_TOLERANCE = 0.05
 #: gate within a few epochs.
 BACKLOG_GATE_FRACTION = 0.5
 
+#: Hysteresis band for borderline detection: a point whose instability
+#: margin falls within ``[1/h, h]`` of the threshold is re-evaluated over
+#: multiple arrival seeds before its verdict is trusted.
+BORDERLINE_HYSTERESIS = 2.0
+
+#: Independent arrival seeds used to resolve a borderline verdict by
+#: majority (odd, so the vote cannot tie).
+CONFIRM_SEEDS = 3
+
 
 @dataclass(frozen=True)
 class StabilityMetrics:
@@ -44,18 +62,32 @@ class StabilityMetrics:
     backlog_final: int
     backlog_slope: float  # packets per epoch, least squares over the tail
     stable: bool
+    overhead_slots: float = 0.0  # amortized protocol overhead, slots per epoch
+    cache_hit_rate: float = 0.0  # epochs that avoided a full scheduler re-run
+    confirm_seeds: int = 1  # arrival seeds behind the stable verdict
 
     def __str__(self) -> str:
         state = "stable" if self.stable else "UNSTABLE"
+        if self.confirm_seeds > 1:
+            state += f" ({self.confirm_seeds}-seed majority)"
         return (
             f"lambda={self.offered_rate:g}: throughput={self.throughput:.3f} pkt/slot, "
             f"delay={self.mean_delay:.1f}/{self.p99_delay:.0f} slots (mean/p99), "
-            f"backlog={self.backlog_final} ({self.backlog_slope:+.1f}/epoch, {state})"
+            f"backlog={self.backlog_final} ({self.backlog_slope:+.1f}/epoch, {state}), "
+            f"overhead={self.overhead_slots:.1f} slots/epoch, "
+            f"cache hits={self.cache_hit_rate:.0%}"
         )
 
 
 def backlog_slope(trace: TrafficTrace, tail_fraction: float = 0.5) -> float:
-    """Least-squares slope (packets/epoch) of the trailing backlog series."""
+    """Least-squares slope (packets/epoch) of the trailing backlog series.
+
+    Degenerate tails (fewer than two points, or a constant series) return
+    exactly 0.0 — and the fit runs through
+    :class:`numpy.polynomial.Polynomial`, whose scaled-domain least squares
+    stays well conditioned where a raw ``np.polyfit`` on a flat tail emits
+    ``RankWarning`` noise.
+    """
     series = trace.backlog_series()
     if series.size < 2:
         return 0.0
@@ -63,8 +95,36 @@ def backlog_slope(trace: TrafficTrace, tail_fraction: float = 0.5) -> float:
     tail = series[start:].astype(float)
     if tail.size < 2:
         tail = series.astype(float)
+    if np.all(tail == tail[0]):
+        return 0.0
     x = np.arange(tail.size, dtype=float)
-    return float(np.polyfit(x, tail, 1)[0])
+    line = np.polynomial.Polynomial.fit(x, tail, 1)
+    # .convert() maps the fit back from its scaled domain to packet/epoch
+    # coordinates — and trims an exactly-zero linear term (e.g. a symmetric
+    # tail like [3, 0, 3]), leaving a 1-coefficient constant: slope 0.
+    coef = line.convert().coef
+    return float(coef[1]) if coef.size > 1 else 0.0
+
+
+def stability_margin(trace: TrafficTrace, tolerance: float = STABILITY_TOLERANCE) -> float:
+    """How decisively the instability test resolves, as a ratio.
+
+    Instability requires the backlog slope to clear its threshold *and* the
+    final backlog to clear the magnitude gate; the margin is the smaller of
+    the two ratios, so values ``> 1`` read unstable, ``< 1`` stable, and
+    values near 1 are borderline.  Diverged traces return ``inf`` (the
+    divergence guard only fires on decisive blow-ups); empty traces 0.
+    """
+    if trace.diverged:
+        return float("inf")
+    if not trace.records:
+        return 0.0
+    arrivals_per_epoch = trace.arrivals_total / trace.n_epochs_run
+    slope_ratio = backlog_slope(trace) / max(tolerance * arrivals_per_epoch, 1.0)
+    gate_ratio = trace.records[-1].backlog_end / max(
+        BACKLOG_GATE_FRACTION * arrivals_per_epoch, 1.0
+    )
+    return min(slope_ratio, gate_ratio)
 
 
 def is_stable(trace: TrafficTrace, tolerance: float = STABILITY_TOLERANCE) -> bool:
@@ -75,16 +135,35 @@ def is_stable(trace: TrafficTrace, tolerance: float = STABILITY_TOLERANCE) -> bo
     *and* the final backlog has actually accumulated past the
     :data:`BACKLOG_GATE_FRACTION` magnitude gate.
     """
-    if trace.diverged:
-        return False
-    if not trace.records:
-        return True
-    arrivals_per_epoch = trace.arrivals_total / trace.n_epochs_run
-    growing = backlog_slope(trace) > max(tolerance * arrivals_per_epoch, 1.0)
-    accumulated = (
-        trace.records[-1].backlog_end > BACKLOG_GATE_FRACTION * arrivals_per_epoch
-    )
-    return not (growing and accumulated)
+    return stability_margin(trace, tolerance) <= 1.0
+
+
+def is_borderline(
+    trace: TrafficTrace,
+    tolerance: float = STABILITY_TOLERANCE,
+    hysteresis: float = BORDERLINE_HYSTERESIS,
+) -> bool:
+    """Is this verdict close enough to the threshold to flip with the
+    arrival sample path?
+
+    True when the instability margin falls inside ``[1/hysteresis,
+    hysteresis]`` — the operating point sits near utilization 1, where a
+    single seed's verdict is luck, not capacity.
+    """
+    if hysteresis < 1.0:
+        raise ValueError("hysteresis must be >= 1")
+    margin = stability_margin(trace, tolerance)
+    return 1.0 / hysteresis <= margin <= hysteresis
+
+
+def majority_stable(
+    traces: Sequence[TrafficTrace], tolerance: float = STABILITY_TOLERANCE
+) -> bool:
+    """Majority :func:`is_stable` verdict over independent sample paths."""
+    if not traces:
+        raise ValueError("majority_stable needs at least one trace")
+    votes = sum(1 for t in traces if is_stable(t, tolerance))
+    return votes * 2 > len(traces)
 
 
 def summarize_trace(
@@ -94,6 +173,7 @@ def summarize_trace(
 ) -> StabilityMetrics:
     """Collapse a trace into one stability-region data point."""
     slots = max(trace.total_slots, 1)
+    epochs = max(trace.n_epochs_run, 1)
     delays = (
         trace.queues.delay_array() if trace.queues is not None else np.empty(0, np.int64)
     )
@@ -105,22 +185,78 @@ def summarize_trace(
         backlog_final=trace.records[-1].backlog_end if trace.records else 0,
         backlog_slope=backlog_slope(trace),
         stable=is_stable(trace, tolerance),
+        overhead_slots=trace.overhead_slots_total / epochs,
+        cache_hit_rate=trace.cache_hit_rate,
+    )
+
+
+def _accepts_seed_index(run_at: Callable) -> bool:
+    """Can ``run_at`` be called as ``run_at(rate, seed_index=k)``?
+
+    Requires a parameter literally named ``seed_index`` (or ``**kwargs``):
+    merely having a second positional slot is not enough — binding the seed
+    to an unrelated parameter (a closure default, a tolerance) would run
+    every sweep point with a corrupted argument instead of failing loudly.
+    """
+    try:
+        sig = inspect.signature(run_at)
+    except (TypeError, ValueError):  # builtins / C callables: assume not
+        return False
+    params = sig.parameters
+    if any(p.kind == p.VAR_KEYWORD for p in params.values()):
+        return True
+    seed = params.get("seed_index")
+    return seed is not None and seed.kind in (
+        seed.POSITIONAL_OR_KEYWORD,
+        seed.KEYWORD_ONLY,
     )
 
 
 def stability_sweep(
     rates: Sequence[float],
-    run_at: Callable[[float], TrafficTrace],
+    run_at: Callable[..., TrafficTrace],
     tolerance: float = STABILITY_TOLERANCE,
+    confirm_seeds: int = 1,
+    hysteresis: float = BORDERLINE_HYSTERESIS,
 ) -> list[StabilityMetrics]:
     """Evaluate one scheduler across an ascending arrival-rate sweep.
 
     ``run_at(rate)`` runs the epoch loop at that offered rate (typically by
     scaling a template generator with
     :meth:`~repro.traffic.generators.TrafficGenerator.scaled`).
+
+    With ``confirm_seeds > 1``, ``run_at`` must also accept a keyword
+    argument named ``seed_index`` (0 for the base run) that selects an
+    independent arrival sample path.  Borderline points — see
+    :func:`is_borderline` — are then re-run on ``confirm_seeds - 1`` extra
+    seeds and their verdict replaced by the majority over all runs, so
+    operating points at utilization ≈ 1 no longer flip with a single sample
+    path.  Decisive points are never re-run: the extra cost is paid only at
+    the knee.
     """
+    if confirm_seeds < 1:
+        raise ValueError("confirm_seeds must be >= 1")
+    if confirm_seeds > 1 and not _accepts_seed_index(run_at):
+        raise TypeError(
+            "confirm_seeds > 1 requires run_at(rate, seed_index=...); the "
+            "seed_index keyword selects the independent arrival sample path"
+        )
     swept = sorted(float(r) for r in rates)
-    return [summarize_trace(run_at(rate), rate, tolerance) for rate in swept]
+    points: list[StabilityMetrics] = []
+    for rate in swept:
+        trace = run_at(rate, seed_index=0) if confirm_seeds > 1 else run_at(rate)
+        point = summarize_trace(trace, rate, tolerance)
+        if confirm_seeds > 1 and is_borderline(trace, tolerance, hysteresis):
+            traces = [trace] + [
+                run_at(rate, seed_index=k) for k in range(1, confirm_seeds)
+            ]
+            point = replace(
+                point,
+                stable=majority_stable(traces, tolerance),
+                confirm_seeds=confirm_seeds,
+            )
+        points.append(point)
+    return points
 
 
 def stability_knee(points: Sequence[StabilityMetrics]) -> float | None:
@@ -137,3 +273,20 @@ def stability_knee(points: Sequence[StabilityMetrics]) -> float | None:
             break
         knee = point.offered_rate
     return knee
+
+
+def find_knee(
+    rates: Sequence[float],
+    run_at: Callable[..., TrafficTrace],
+    tolerance: float = STABILITY_TOLERANCE,
+    confirm_seeds: int = CONFIRM_SEEDS,
+    hysteresis: float = BORDERLINE_HYSTERESIS,
+) -> tuple[float | None, list[StabilityMetrics]]:
+    """Sweep and locate the knee in one call, de-flaked by default.
+
+    Runs :func:`stability_sweep` with majority confirmation of borderline
+    points (``confirm_seeds`` independent arrival seeds) and returns
+    ``(knee, points)``.
+    """
+    points = stability_sweep(rates, run_at, tolerance, confirm_seeds, hysteresis)
+    return stability_knee(points), points

@@ -224,3 +224,28 @@ class TestHeavyTraffic:
         # At a rate this low every scheduler is stable, so every knee is the
         # top of the sweep.
         assert all(value == "0.004" for value in knees.values())
+
+    def test_incremental_table_shape_and_policy_axis(self):
+        from dataclasses import replace
+
+        from repro.experiments.heavy_traffic import incremental_experiment
+
+        tiny = replace(
+            TINY,
+            traffic_lambdas=(0.004,),
+            traffic_epochs=3,
+            traffic_epoch_slots=80,
+        )
+        table = incremental_experiment(tiny)
+        # 3 policies x 1 rate + 3 knee summary rows.
+        assert table.n_rows == 6
+        knees = {row[0]: row[-1] for row in table._rows if row[1] == "knee"}
+        assert set(knees) == {"always", "drift-threshold", "patch"}
+        assert all(value == "0.004" for value in knees.values())
+        # The always policy never reports cache hits; caching policies pay
+        # no more overhead than always does.
+        hits = {row[0]: row[6] for row in table._rows if row[1] != "knee"}
+        assert hits["always"] == "0%"
+        totals = {row[0]: int(row[4]) for row in table._rows if row[1] != "knee"}
+        assert totals["drift-threshold"] <= totals["always"]
+        assert totals["patch"] <= totals["always"]
