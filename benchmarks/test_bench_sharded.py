@@ -1,0 +1,163 @@
+"""Bench for the sharded multi-region epoch engine (E9).
+
+Runs the monolithic and sharded engines over the 16x16 and 24x24 grids
+(FDD per region vs one backbone protocol) and records the comparison
+table.  Beyond the snapshot, asserts the PR's headlines on the 16x16 grid
+at 4 shards:
+
+* the sharded engine cuts the *critical-path* scheduling wall-clock — the
+  per-epoch maximum over the concurrently computing regions, i.e. what the
+  scheduling phase costs when every region has its own controller (and
+  what a multi-worker host measures) — by at least 2x;
+* the measured stability knee stays within one sweep step of the
+  monolithic knee;
+* the degenerate 1-shard partition reproduces the monolithic engine
+  epoch-for-epoch for every reschedule policy (the equivalence harness
+  that keeps the refactor honest).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fdd import fdd_on_network
+from repro.experiments.common import PAPER_PROTOCOL, ExperimentProfile
+from repro.experiments.sharded import sharded_experiment
+from repro.routing import build_routing_forest, planned_gateways
+from repro.scheduling.links import forest_link_set
+from repro.topology.network import grid_network
+from repro.traffic import (
+    EpochConfig,
+    PoissonArrivals,
+    distributed_scheduler,
+    plan_for_network,
+    run_epochs,
+    run_epochs_sharded,
+    sharded_distributed_factory,
+)
+from repro.util.rng import spawn
+
+FUNCTIONAL_FIELDS = (
+    "epoch",
+    "arrivals",
+    "served",
+    "delivered",
+    "backlog_end",
+    "demand_scheduled",
+    "schedule_length",
+    "overhead_slots",
+    "cache_hit",
+    "patched",
+    "drift",
+)
+
+
+def _functional(record):
+    return tuple(getattr(record, f) for f in FUNCTIONAL_FIELDS)
+
+
+def _rows_by_kind(table):
+    """Split data rows from the per-grid knee and speedup summary rows."""
+    data, knees, speedups = {}, {}, {}
+    for row in table._rows:
+        grid, engine, lam = row[0], row[1], row[2]
+        if engine == "speedup":
+            speedups[grid] = row
+        elif lam == "knee":
+            knees[(grid, engine)] = row[-1]
+        else:
+            data[(grid, engine, lam)] = row
+    return data, knees, speedups
+
+
+@pytest.mark.benchmark(group="traffic")
+def test_sharded_engine_speedup_and_knee_fidelity(benchmark, bench_profile, save_table):
+    table = benchmark.pedantic(
+        sharded_experiment, args=(bench_profile,), rounds=1, iterations=1
+    )
+    save_table("sharded", table)
+
+    per_grid = [
+        len(lams) * 2 + 3 for lams in bench_profile.sharded_lambdas
+    ]  # 2 engines x rates + 2 knee rows + 1 speedup row
+    assert table.n_rows == sum(per_grid)
+
+    data, knees, speedups = _rows_by_kind(table)
+    grids = [f"{r}x{c}" for r, c in bench_profile.sharded_grids]
+    assert "16x16" in grids
+
+    # --- >= 2x critical-path scheduling speedup on the 16x16 grid.
+    crit_cell = speedups["16x16"][7]
+    assert crit_cell.endswith("x")
+    crit_speedup = float(crit_cell[:-1])
+    assert crit_speedup >= 2.0, (
+        f"sharded engine should cut the critical-path scheduling wall-clock "
+        f">= 2x on the 16x16 grid at 4 shards, measured {crit_speedup:.2f}x"
+    )
+
+    # --- The knee must stay within one sweep step of the monolithic knee.
+    steps = sorted(bench_profile.sharded_lambdas[grids.index("16x16")])
+
+    def step_index(cell):
+        return steps.index(float(cell)) if cell != "-" else None
+
+    mono_knee = step_index(knees[("16x16", "monolithic")])
+    shard_knee = step_index(knees[("16x16", "sharded")])
+    assert mono_knee is not None, "monolithic engine unstable at every swept rate"
+    assert shard_knee is not None, "sharded engine unstable at every swept rate"
+    assert abs(shard_knee - mono_knee) <= 1, (
+        f"sharded knee moved more than one sweep step: "
+        f"{knees[('16x16', 'sharded')]} vs monolithic {knees[('16x16', 'monolithic')]}"
+    )
+
+    # --- Reconciliation only ever happens on multi-shard rounds, and the
+    # monolithic engine reports none.
+    for (grid, engine, lam), row in data.items():
+        if engine == "monolithic":
+            assert row[8] == "0.0"
+
+
+@pytest.mark.benchmark(group="traffic")
+@pytest.mark.parametrize("policy", ["always", "drift-threshold", "patch"])
+def test_single_shard_reproduces_monolithic_engine(policy):
+    """n_shards=1 differential equivalence for every reschedule policy.
+
+    FDD (stochastic, overhead-priced) on the paper's 8x8 grid: the sharded
+    engine with the degenerate 1-shard partition must reproduce the
+    monolithic ``run_epochs`` epoch-for-epoch — backlogs, delivered packets,
+    overhead, cache decisions, and per-packet delays.
+    """
+    network = grid_network(8, 8, density_per_km2=1000.0)
+    gateways = planned_gateways(8, 8, 4)
+    forest = build_routing_forest(network.comm_adj, gateways, rng=spawn(7, "f"))
+    links = forest_link_set(forest, np.zeros(network.n_nodes, dtype=np.int64))
+    config = EpochConfig(
+        epoch_slots=200,
+        n_epochs=5,
+        divergence_factor=4.0,
+        reschedule_policy=policy,
+    )
+
+    def generator():
+        return PoissonArrivals(
+            network.n_nodes, 0.01, gateways=gateways, seed=spawn(7, "g")
+        )
+
+    scheduler = distributed_scheduler(
+        network, fdd_on_network, config=PAPER_PROTOCOL, seed=7
+    )
+    mono = run_epochs(links, generator(), scheduler, config, model=network.model)
+
+    plan = plan_for_network(links, network, n_shards=1, interference_radius_m=80.0)
+    assert plan.n_shards == 1 and not plan.boundary_mask().any()
+    factory = sharded_distributed_factory(
+        network, fdd_on_network, config=PAPER_PROTOCOL, seed=7
+    )
+    shard = run_epochs_sharded(plan, generator(), factory, network.model, config)
+
+    assert [_functional(r) for r in shard.records] == [
+        _functional(r) for r in mono.records
+    ]
+    assert shard.diverged == mono.diverged
+    assert np.array_equal(shard.queues.delay_array(), mono.queues.delay_array())
+    assert np.array_equal(shard.queues.backlog, mono.queues.backlog)
+    shard.queues.check_conservation()

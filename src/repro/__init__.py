@@ -93,6 +93,13 @@ from repro.traffic import (
     serialized_scheduler,
     centralized_scheduler,
     distributed_scheduler,
+    ShardPlan,
+    ShardedTrafficTrace,
+    partition_links,
+    plan_for_network,
+    run_epochs_sharded,
+    sharded_centralized_factory,
+    sharded_distributed_factory,
     StabilityMetrics,
     summarize_trace,
     stability_sweep,
@@ -172,6 +179,13 @@ __all__ = [
     "serialized_scheduler",
     "centralized_scheduler",
     "distributed_scheduler",
+    "ShardPlan",
+    "ShardedTrafficTrace",
+    "partition_links",
+    "plan_for_network",
+    "run_epochs_sharded",
+    "sharded_centralized_factory",
+    "sharded_distributed_factory",
     "StabilityMetrics",
     "summarize_trace",
     "stability_sweep",

@@ -20,9 +20,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import NO_FAULTS, FaultConfig, ProtocolConfig
-from repro.core.leader import leader_elect
 from repro.core.runtime import Runtime
-from repro.core.scream import scream_flood, scream_reach_exactly
+from repro.core.scream import scream_flood
 from repro.phy.interference import PhysicalInterferenceModel
 from repro.topology.diameter import hop_distance_matrix
 from repro.topology.network import Network
@@ -50,12 +49,36 @@ class FastRuntime(Runtime):
         self._rng = ensure_rng(rng)
         if self._ids.shape != (model.n_nodes,):
             raise ValueError("ids must have one entry per node")
+        if np.any(self._ids < 0):
+            # The generic leader_elect rejected negative ids per call; the
+            # inlined election validates once here (ids never change) — a
+            # negative id would sign-extend to 1 on every high bit and
+            # silently win elections it should lose.
+            raise ValueError("ids must be non-negative")
         if self._sens_adj.shape != (model.n_nodes, model.n_nodes):
             raise ValueError("sens_adj shape must match the model's node count")
 
         self._sens_dist: np.ndarray | None = None
+        self._within_k: np.ndarray | None = None
+        self._saturated = False
         if faults.is_faultless:
             self._sens_dist = hop_distance_matrix(self._sens_adj)
+            # Boolean K-hop reachability: one OR-reduction per fault-free
+            # SCREAM instead of a float min — SCREAMs are the innermost
+            # protocol operation (id_bits per election), so this matrix is
+            # the difference between overhead-bound and size-bound cost.
+            self._within_k = self._sens_dist <= config.k
+            # K at least the substrate's interference diameter: every SCREAM
+            # saturates, so elections resolve in closed form (see
+            # leader_elect).  Small regional substrates saturate long before
+            # a backbone does — the property that makes sharded protocol
+            # simulation scale.
+            self._saturated = bool(self._within_k.all())
+        # Per-bit contribution masks for leader elections, most significant
+        # bit first; ids are fixed per runtime, so the shifts happen once.
+        self._id_bit_masks = [
+            (self._ids >> j) & 1 == 1 for j in range(config.id_bits - 1, -1, -1)
+        ]
 
     @classmethod
     def for_network(
@@ -65,13 +88,20 @@ class FastRuntime(Runtime):
         faults: FaultConfig = NO_FAULTS,
         rng: np.random.Generator | int | None = None,
         ids: np.ndarray | None = None,
+        model: PhysicalInterferenceModel | None = None,
     ) -> "FastRuntime":
-        """Construct from a :class:`~repro.topology.network.Network`."""
+        """Construct from a :class:`~repro.topology.network.Network`.
+
+        ``model`` overrides the network's own feasibility oracle — the hook
+        the sharded epoch engine uses to run protocol handshakes under a
+        budgeted (guard-margin) oracle; see
+        :meth:`repro.phy.interference.PhysicalInterferenceModel.with_budget`.
+        """
         node_ids = (
             np.arange(network.n_nodes, dtype=np.int64) if ids is None else ids
         )
         return cls(
-            model=network.model,
+            model=network.model if model is None else model,
             sens_adj=network.sens_adj,
             ids=node_ids,
             config=config,
@@ -91,8 +121,13 @@ class FastRuntime(Runtime):
         """One K-slot SCREAM; exact reachability or faulty flood."""
         self.tally.add_scream(self.config.k)
         arr = np.asarray(inputs, dtype=bool)
-        if self.faults.is_faultless:
-            return scream_reach_exactly(self._sens_dist, arr, self.config.k)
+        if self._within_k is not None:
+            # Fault-free closed form (same result as scream_reach_exactly,
+            # boolean OR instead of float min): v hears iff a source lies
+            # within K directed hops, and sources always hear themselves.
+            if not arr.any():
+                return np.zeros_like(arr)
+            return self._within_k[arr].any(axis=0) | arr
         return scream_flood(
             self._sens_adj,
             arr,
@@ -102,14 +137,64 @@ class FastRuntime(Runtime):
         )
 
     def leader_elect(self, participating: np.ndarray) -> np.ndarray:
-        """Bitwise election; one SCREAM per ID bit."""
+        """Bitwise election; one SCREAM per ID bit.
+
+        Inlines :func:`repro.core.leader.leader_elect` against the cached
+        per-bit contribution masks (ids never change within a runtime) —
+        identical outcomes and identical tally accounting, minus the
+        per-election bit-shift and validation overhead of the generic path.
+        """
         self.tally.elections += 1
-        winners = leader_elect(
-            self._ids,
-            np.asarray(participating, dtype=bool),
-            self.config.id_bits,
-            self.scream,
-        )
+        part = np.asarray(participating, dtype=bool)
+        if part.shape != self._ids.shape:
+            raise ValueError("participating mask must have one entry per node")
+        active_ids = self._ids[part]
+        if active_ids.size and int(active_ids.max()) >= (1 << self.config.id_bits):
+            raise ValueError(
+                f"id_bits={self.config.id_bits} cannot represent participating "
+                f"id {int(active_ids.max())}"
+            )
+        bits = len(self._id_bit_masks)
+        alive = int(part.sum())
+        # The shortcuts below are exact only on the fault-free substrate;
+        # a faulty runtime must *execute* every scream so the shared fault
+        # RNG stream advances identically to the unshortcut simulation
+        # (skipping draws would silently change every later miss).
+        faultless = self._within_k is not None
+        if faultless and (self._saturated or alive <= 1):
+            # Exact shortcuts, identical air time.  (a) ``alive <= 1``: a
+            # lone participant hears itself on its 1-bits and nobody
+            # contributes on its 0-bits, so it survives; an empty pool
+            # never changes.  (b) saturated substrate: every node hears
+            # every contributor, so each bit eliminates exactly the alive
+            # nodes whose bit is 0 while some alive bit is 1 — the classic
+            # max-ID elimination.  Either way the full id_bits SCREAMs are
+            # still charged: the shortcut is the simulator's, not the
+            # protocol's.
+            for _ in range(bits):
+                self.tally.add_scream(self.config.k)
+            if alive == 0:
+                return np.zeros_like(part)
+            winners = part & (self._ids == int(active_ids.max()))
+        else:
+            voted_out = ~part
+            done = 0
+            for bit in self._id_bit_masks:
+                contributes = bit & ~voted_out
+                result = self.scream(contributes)
+                voted_out |= result & ~contributes
+                done += 1
+                if not faultless:
+                    continue
+                alive = int(part.sum()) - int((part & voted_out).sum())
+                if alive <= 1:
+                    # The survivor set can no longer change (contributors
+                    # are always alive participants); charge the remaining
+                    # SCREAMs without simulating them.
+                    for _ in range(bits - done):
+                        self.tally.add_scream(self.config.k)
+                    break
+            winners = part & ~voted_out
         if int(winners.sum()) > 1:
             self.tally.multi_winner_elections += 1
         return winners

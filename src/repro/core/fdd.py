@@ -17,6 +17,7 @@ from repro.core.fast_runtime import FastRuntime
 from repro.core.protocol import ProtocolResult, run_protocol
 from repro.core.runtime import Runtime
 from repro.core.states import NodeState
+from repro.phy.interference import PhysicalInterferenceModel
 from repro.scheduling.links import LinkSet
 from repro.topology.network import Network
 from repro.util.rng import ensure_rng, spawn
@@ -60,12 +61,18 @@ def fdd_on_network(
     faults: FaultConfig = NO_FAULTS,
     rng: np.random.Generator | int | None = None,
     record_rounds: bool = False,
+    model: "PhysicalInterferenceModel | None" = None,
 ) -> ProtocolResult:
-    """Convenience wrapper: run FDD over a fresh FastRuntime on ``network``."""
+    """Convenience wrapper: run FDD over a fresh FastRuntime on ``network``.
+
+    ``model`` optionally replaces the network's feasibility oracle (e.g. a
+    guard-margin budgeted oracle from the sharded epoch engine); handshake
+    outcomes then reflect the substituted model.
+    """
     cfg = config or ProtocolConfig()
     root = ensure_rng(rng)
     runtime = FastRuntime.for_network(
-        network, cfg, faults=faults, rng=spawn(root, "runtime")
+        network, cfg, faults=faults, rng=spawn(root, "runtime"), model=model
     )
     return run_fdd(
         links, runtime, cfg, rng=spawn(root, "protocol"), record_rounds=record_rounds

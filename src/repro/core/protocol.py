@@ -213,8 +213,17 @@ def _greedy_schedule_slot(
     SelectActive -> handshake -> SCREAM veto -> SCREAM seal-check repeat
     until no further actives can arise.
     """
-    reset = (state != NodeState.COMPLETE) & (state != NodeState.CONTROL)
-    state[reset] = NodeState.DORMANT
+    # Enum member lookups go through the metaclass and are measurable inside
+    # this innermost loop; bind the state codes once.
+    DORMANT = int(NodeState.DORMANT)
+    CONTROL = int(NodeState.CONTROL)
+    ACTIVE = int(NodeState.ACTIVE)
+    ALLOCATED = int(NodeState.ALLOCATED)
+    TRIED = int(NodeState.TRIED)
+    COMPLETE = int(NodeState.COMPLETE)
+
+    reset = (state != COMPLETE) & (state != CONTROL)
+    state[reset] = DORMANT
     if observer is not None:
         observer("slot-reset", state.copy())
 
@@ -230,7 +239,7 @@ def _greedy_schedule_slot(
         runtime.tally.steps += 1
 
         activated = select_active(state, runtime, rng)
-        state[activated] = NodeState.ACTIVE
+        state[activated] = ACTIVE
         if observer is not None:
             observer("select", state.copy())
 
@@ -238,9 +247,7 @@ def _greedy_schedule_slot(
         # exercises its link concurrently.
         runtime.sync()
         hs_nodes = np.flatnonzero(
-            (state == NodeState.CONTROL)
-            | (state == NodeState.ALLOCATED)
-            | (state == NodeState.ACTIVE)
+            (state == CONTROL) | (state == ALLOCATED) | (state == ACTIVE)
         )
         link_idx = link_of_node[hs_nodes]
         success = runtime.handshake(heads[link_idx], tails[link_idx])
@@ -250,8 +257,7 @@ def _greedy_schedule_slot(
         # scream their own handshake failure — veto power.
         veto_inputs = np.zeros(state.shape[0], dtype=bool)
         confirmed_failed = failed_nodes[
-            (state[failed_nodes] == NodeState.ALLOCATED)
-            | (state[failed_nodes] == NodeState.CONTROL)
+            (state[failed_nodes] == ALLOCATED) | (state[failed_nodes] == CONTROL)
         ]
         veto_inputs[confirmed_failed] = True
         veto = runtime.scream(veto_inputs)
@@ -260,11 +266,14 @@ def _greedy_schedule_slot(
 
         # Actives resolve: join unless their own handshake failed or they
         # hear a veto (DESIGN.md §2 on the pseudocode's HSfail overwrite).
-        active_nodes = np.flatnonzero(state == NodeState.ACTIVE)
-        own_fail = np.isin(active_nodes, failed_nodes)
-        fail = own_fail | veto[active_nodes]
-        state[active_nodes[fail]] = NodeState.TRIED
-        state[active_nodes[~fail]] = NodeState.ALLOCATED
+        # failed_nodes is a subset of hs_nodes, so membership tests reuse
+        # the per-node failure mask instead of np.isin's sort-based path.
+        active_nodes = np.flatnonzero(state == ACTIVE)
+        failed_mask = np.zeros(state.shape[0], dtype=bool)
+        failed_mask[failed_nodes] = True
+        fail = failed_mask[active_nodes] | veto[active_nodes]
+        state[active_nodes[fail]] = TRIED
+        state[active_nodes[~fail]] = ALLOCATED
         if observer is not None:
             observer("resolve", state.copy())
 
@@ -275,7 +284,7 @@ def _greedy_schedule_slot(
             contrib = np.zeros(state.shape[0], dtype=bool)
             contrib[active_nodes] = True
         else:
-            contrib = state == NodeState.DORMANT
+            contrib = state == DORMANT
         runtime.sync()
         still = runtime.scream(contrib)
         if not still.any():
@@ -283,9 +292,7 @@ def _greedy_schedule_slot(
                 observer("seal", state.copy())
             break
 
-    members = np.flatnonzero(
-        (state == NodeState.ALLOCATED) | (state == NodeState.CONTROL)
-    )
+    members = np.flatnonzero((state == ALLOCATED) | (state == CONTROL))
     return members, steps
 
 

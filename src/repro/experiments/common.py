@@ -65,6 +65,20 @@ class ExperimentProfile:
     #: Base drift threshold for the caching policies (headroom-scaled);
     #: None uses the library default (incremental.DEFAULT_DRIFT_THRESHOLD).
     traffic_drift_threshold: float | None = None
+    #: Multi-region grids swept by the sharded-engine experiment (E9), with
+    #: one arrival-rate sweep per grid (knees sit lower on deeper trees).
+    sharded_grids: tuple[tuple[int, int], ...] = ((16, 16), (24, 24))
+    sharded_lambdas: tuple[tuple[float, ...], ...] = (
+        (0.0015, 0.002, 0.0025, 0.003),
+        (0.0008, 0.0012, 0.0016),
+    )
+    #: Spatial shards (grid tiles) and thread-pool workers for E9.
+    sharded_shards: int = 4
+    sharded_workers: int = 4
+    #: Boundary-link detection radius and guard margin (x noise) for E9.
+    sharded_radius_m: float = 80.0
+    sharded_guard_factor: float = 1.0
+    sharded_epochs: int = 8
     seed: int = DEFAULT_SEED
 
 
@@ -83,6 +97,9 @@ QUICK = ExperimentProfile(
     traffic_lambdas=(0.006, 0.019),
     traffic_epochs=5,
     traffic_epoch_slots=200,
+    sharded_grids=((12, 12),),
+    sharded_lambdas=((0.002, 0.004),),
+    sharded_epochs=5,
 )
 
 #: The paper's protocol constants (Section VI-A).

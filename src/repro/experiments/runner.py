@@ -25,6 +25,7 @@ from repro.experiments import (
     heavy_traffic,
     mote_detection,
     schedule_quality,
+    sharded,
     theory,
 )
 from repro.experiments.common import FULL, QUICK, ExperimentProfile
@@ -53,6 +54,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentProfile], TextTable]]] = {
     "incremental": (
         "E8 — incremental epoch rescheduling: schedule caching and patching",
         heavy_traffic.incremental_experiment,
+    ),
+    "sharded": (
+        "E9 — sharded multi-region epoch engine vs the monolithic loop",
+        sharded.sharded_experiment,
     ),
     "mote-error": (
         "E1/Fig4 — SCREAM detection error vs SCREAM size (mote testbed)",

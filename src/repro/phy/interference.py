@@ -37,29 +37,71 @@ class PhysicalInterferenceModel:
         ``(n, n)`` received-power matrix in mW.
     radio:
         Radio constants (``beta``, noise, carrier-sense threshold).
+    budget_mw:
+        Optional ``(n,)`` per-node far-field interference budget (mW) added
+        to the noise floor at each *receiving* node in every SINR check —
+        the guard margin the sharded epoch engine reserves at shard
+        boundaries for interference scheduled by other shards (see
+        :func:`repro.phy.sinr.sinr_for_links` and
+        :mod:`repro.traffic.sharded`).  ``None`` (the default) is the exact
+        model of the monolithic pipeline.
     """
 
     power: np.ndarray
     radio: RadioConfig
+    budget_mw: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         p = np.asarray(self.power, dtype=float)
         if p.ndim != 2 or p.shape[0] != p.shape[1]:
             raise ValueError(f"power matrix must be square, got shape {p.shape}")
         object.__setattr__(self, "power", p)
+        if self.budget_mw is not None:
+            b = np.asarray(self.budget_mw, dtype=float)
+            if b.shape != (p.shape[0],):
+                raise ValueError(
+                    f"budget_mw must have shape ({p.shape[0]},), got {b.shape}"
+                )
+            if np.any(b < 0):
+                raise ValueError("budget_mw entries must be non-negative")
+            object.__setattr__(self, "budget_mw", b)
 
     @property
     def n_nodes(self) -> int:
         return self.power.shape[0]
 
+    def with_budget(self, budget_mw: np.ndarray | None) -> "PhysicalInterferenceModel":
+        """The same oracle with a per-node far-field noise budget installed.
+
+        An all-zero (or ``None``) budget returns ``self`` unchanged, so the
+        degenerate single-shard partition schedules through the *identical*
+        model object — the bit-for-bit guarantee behind the sharded engine's
+        ``n_shards=1`` equivalence harness.
+        """
+        if budget_mw is None:
+            return self
+        b = np.asarray(budget_mw, dtype=float)
+        if not b.any():
+            return self
+        return PhysicalInterferenceModel(self.power, self.radio, b)
+
     def link_sinrs(
         self, senders: np.ndarray, receivers: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Per-link (data, ACK) SINR arrays for a concurrent link set."""
+        """Per-link (data, ACK) SINR arrays for a concurrent link set.
+
+        With a ``budget_mw`` installed, the data check budgets extra noise
+        at the data receivers and the ACK check at the data senders (the
+        nodes receiving the ACKs).
+        """
         snd = np.asarray(senders, dtype=np.intp)
         rcv = np.asarray(receivers, dtype=np.intp)
-        data = sinr_for_links(self.power, snd, rcv, self.radio.noise_mw)
-        ack = sinr_for_links(self.power, rcv, snd, self.radio.noise_mw)
+        data = sinr_for_links(
+            self.power, snd, rcv, self.radio.noise_mw, budget_mw=self.budget_mw
+        )
+        ack = sinr_for_links(
+            self.power, rcv, snd, self.radio.noise_mw, budget_mw=self.budget_mw
+        )
         return data, ack
 
     def feasible_mask(
@@ -101,14 +143,16 @@ class PhysicalInterferenceModel:
         beta = self.radio.beta
         noise = self.radio.noise_mw
 
-        data_sinr = sinr_for_links(self.power, snd, rcv, noise)
+        data_sinr = sinr_for_links(self.power, snd, rcv, noise, budget_mw=self.budget_mw)
         data_ok = data_sinr >= beta
 
         success = np.zeros(snd.shape, dtype=bool)
         if data_ok.any():
             ack_senders = rcv[data_ok]
             ack_receivers = snd[data_ok]
-            ack_sinr = sinr_for_links(self.power, ack_senders, ack_receivers, noise)
+            ack_sinr = sinr_for_links(
+                self.power, ack_senders, ack_receivers, noise, budget_mw=self.budget_mw
+            )
             success[data_ok] = ack_sinr >= beta
         return success
 
@@ -153,11 +197,17 @@ def link_feasible_alone(
 
     This is the communication-graph membership test of Section II: an edge
     exists iff the data packet and the ACK both clear ``β`` against noise
-    alone.
+    alone (plus the model's far-field budget at each receiving node, when
+    one is installed).
     """
     p = model.power
     noise = model.radio.noise_mw
     beta = model.radio.beta
+    data_noise = ack_noise = noise
+    if model.budget_mw is not None:
+        data_noise = noise + model.budget_mw[receiver]
+        ack_noise = noise + model.budget_mw[sender]
     return bool(
-        p[sender, receiver] / noise >= beta and p[receiver, sender] / noise >= beta
+        p[sender, receiver] / data_noise >= beta
+        and p[receiver, sender] / ack_noise >= beta
     )

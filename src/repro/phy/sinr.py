@@ -16,6 +16,7 @@ def sinr_for_links(
     senders: np.ndarray,
     receivers: np.ndarray,
     noise_mw: float,
+    budget_mw: np.ndarray | None = None,
 ) -> np.ndarray:
     """SINR at each receiver for concurrent transmissions ``senders[k] -> receivers[k]``.
 
@@ -31,6 +32,16 @@ def sinr_for_links(
         powers received from every *other* sender.
     noise_mw:
         Background noise power ``N``.
+    budget_mw:
+        Optional ``(n,)`` per-node *far-field interference budget* (mW),
+        added to the noise term at each receiving node: link ``k`` sees
+        ``N + budget_mw[receivers[k]]`` instead of ``N``.  This is the
+        margin-budgeted feasibility entry point of the sharded epoch engine
+        (:mod:`repro.traffic.sharded`): interference from transmitters
+        *outside* the local scheduling problem is budgeted as extra noise
+        rather than recomputed globally (cf. arXiv:1104.5200's decomposition
+        of SINR scheduling into near-field sets plus a far-field budget).
+        ``None`` means no budget anywhere.
 
     Returns
     -------
@@ -48,13 +59,30 @@ def sinr_for_links(
         return np.empty(0, dtype=float)
     if noise_mw <= 0:
         raise ValueError(f"noise_mw must be positive, got {noise_mw}")
+    noise = noise_mw
+    if budget_mw is not None:
+        budget = np.asarray(budget_mw, dtype=float)
+        if budget.ndim != 1 or budget.shape[0] != power.shape[0]:
+            raise ValueError(
+                f"budget_mw must have one entry per node ({power.shape[0]},), "
+                f"got shape {budget.shape}"
+            )
+        # Entries must be non-negative; that invariant is enforced where
+        # budgets are built (PhysicalInterferenceModel.__post_init__), not
+        # re-scanned here — this function sits inside every handshake.
+        noise = noise_mw + budget[rcv]
 
     # incident[i, k]: power received at receiver of link k from sender of link i.
     incident = power[np.ix_(snd, rcv)]
     signal = np.diagonal(incident).astype(float, copy=True)
     interference = incident.sum(axis=0) - signal
-    sinr = signal / (noise_mw + interference)
-    sinr[np.isin(rcv, snd)] = 0.0
+    sinr = signal / (noise + interference)
+    # Half-duplex: a receiver that also transmits is deaf.  A scratch mask
+    # over the node axis beats np.isin's sort-based path on the small
+    # per-slot index arrays this function sees millions of times.
+    transmitting = np.zeros(power.shape[0], dtype=bool)
+    transmitting[snd] = True
+    sinr[transmitting[rcv]] = 0.0
     return sinr
 
 

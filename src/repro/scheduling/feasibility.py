@@ -37,6 +37,10 @@ class SlotState:
         self._power = model.power
         self._noise = model.radio.noise_mw
         self._beta = model.radio.beta
+        # Per-node far-field noise budget (sharded guard margins); None for
+        # the exact monolithic model.  Receiving nodes pay their budget on
+        # top of the thermal noise in every check below.
+        self._budget = model.budget_mw
         self.senders: list[int] = []
         self.receivers: list[int] = []
         self._data_interf: list[float] = []
@@ -67,6 +71,7 @@ class SlotState:
         p = self._power
         noise = self._noise
         beta = self._beta
+        budget = self._budget
 
         if sender == receiver:
             return False
@@ -79,17 +84,21 @@ class SlotState:
         for s_k, r_k in zip(self.senders, self.receivers):
             new_data_interf += p[s_k, receiver]
             new_ack_interf += p[r_k, sender]
-        if p[sender, receiver] < beta * (noise + new_data_interf):
+        data_noise = noise if budget is None else noise + budget[receiver]
+        ack_noise = noise if budget is None else noise + budget[sender]
+        if p[sender, receiver] < beta * (data_noise + new_data_interf):
             return False
-        if p[receiver, sender] < beta * (noise + new_ack_interf):
+        if p[receiver, sender] < beta * (ack_noise + new_ack_interf):
             return False
 
         for k, (s_k, r_k) in enumerate(zip(self.senders, self.receivers)):
             data_interf = self._data_interf[k] + p[sender, r_k]
-            if p[s_k, r_k] < beta * (noise + data_interf):
+            member_data_noise = noise if budget is None else noise + budget[r_k]
+            if p[s_k, r_k] < beta * (member_data_noise + data_interf):
                 return False
             ack_interf = self._ack_interf[k] + p[receiver, s_k]
-            if p[r_k, s_k] < beta * (noise + ack_interf):
+            member_ack_noise = noise if budget is None else noise + budget[s_k]
+            if p[r_k, s_k] < beta * (member_ack_noise + ack_interf):
                 return False
         return True
 

@@ -23,6 +23,7 @@ from repro.traffic.epoch import (
     EpochSchedule,
     EpochSchedulerFn,
     TrafficTrace,
+    play_schedule,
     run_epochs,
     serialized_scheduler,
     centralized_scheduler,
@@ -38,6 +39,19 @@ from repro.traffic.incremental import (
     drift_l1,
     drift_linf,
     patch_schedule,
+)
+from repro.traffic.sharded import (
+    DEFAULT_GUARD_FACTOR,
+    LinkShard,
+    ShardPlan,
+    ShardSchedulerFactory,
+    ShardedTrafficTrace,
+    partition_links,
+    plan_for_network,
+    reconcile_round,
+    run_epochs_sharded,
+    sharded_centralized_factory,
+    sharded_distributed_factory,
 )
 from repro.traffic.stability import (
     BACKLOG_GATE_FRACTION,
@@ -68,6 +82,7 @@ __all__ = [
     "EpochSchedule",
     "EpochSchedulerFn",
     "TrafficTrace",
+    "play_schedule",
     "run_epochs",
     "serialized_scheduler",
     "centralized_scheduler",
@@ -81,6 +96,17 @@ __all__ = [
     "drift_l1",
     "drift_linf",
     "patch_schedule",
+    "DEFAULT_GUARD_FACTOR",
+    "LinkShard",
+    "ShardPlan",
+    "ShardSchedulerFactory",
+    "ShardedTrafficTrace",
+    "partition_links",
+    "plan_for_network",
+    "reconcile_round",
+    "run_epochs_sharded",
+    "sharded_centralized_factory",
+    "sharded_distributed_factory",
     "BACKLOG_GATE_FRACTION",
     "BORDERLINE_HYSTERESIS",
     "CONFIRM_SEEDS",

@@ -32,6 +32,7 @@ protocol's air time across quiet epochs (see
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
@@ -163,16 +164,32 @@ class EpochRecord:
     cache_hit: bool = False  # schedule reused from cache, zero overhead
     patched: bool = False  # schedule repaired in place, zero overhead
     drift: float = 0.0  # snapshot drift vs the cached baseline (0 when uncached)
+    # Shard-aware accounting (repro.traffic.sharded); both stay at their
+    # defaults on monolithic runs, so records compare epoch-for-epoch across
+    # the two engines.
+    n_shards: int = 1  # spatial shards that scheduled this epoch's demand
+    reconciled: int = 0  # memberships serialized by the reconciliation pass
 
 
 @dataclass
 class TrafficTrace:
-    """Outcome of a full epoch-loop run."""
+    """Outcome of a full epoch-loop run.
+
+    ``scheduling_seconds`` is the measured wall-clock spent inside scheduler
+    calls across the run; ``critical_path_seconds`` is the same quantity on
+    the deployment's critical path — for the monolithic loop the two are
+    equal (one scheduler, one controller), while the sharded engine records
+    the per-epoch *maximum* over its concurrently computing regions (see
+    :mod:`repro.traffic.sharded`), which is what wall-clock means when every
+    region has its own controller.
+    """
 
     config: EpochConfig
     records: list[EpochRecord] = field(default_factory=list)
     diverged: bool = False
     queues: LinkQueues | None = None
+    scheduling_seconds: float = 0.0
+    critical_path_seconds: float = 0.0
 
     @property
     def n_epochs_run(self) -> int:
@@ -219,6 +236,11 @@ class TrafficTrace:
             return 0.0
         return (self.cache_hits + self.patched_epochs) / requests
 
+    @property
+    def reconciled_total(self) -> int:
+        """Memberships serialized by cross-shard reconciliation (0 monolithic)."""
+        return sum(r.reconciled for r in self.records)
+
     def backlog_series(self) -> np.ndarray:
         return np.asarray([r.backlog_end for r in self.records], dtype=np.int64)
 
@@ -230,6 +252,59 @@ class TrafficTrace:
             f"arrivals={self.arrivals_total}, delivered={self.delivered_total}, "
             f"backlog={backlog}{tail})"
         )
+
+
+def overhead_to_slots(overhead_seconds: float, config: EpochConfig) -> int:
+    """Whole data slots a scheduler's air time consumes, clamped to the epoch.
+
+    Shared by the monolithic and sharded loops: a scheduler slower than the
+    epoch consumes the whole epoch and serves nothing — never a negative
+    remainder, never a modulo wrap, and the recorded overhead never exceeds
+    ``epoch_slots``.
+    """
+    return min(math.ceil(overhead_seconds / config.slot_seconds), config.epoch_slots)
+
+
+def trace_diverged(trace: TrafficTrace, config: EpochConfig) -> bool:
+    """Has the end-of-epoch backlog crossed the divergence guard?
+
+    True when ``config.divergence_factor`` is set and the latest recorded
+    backlog exceeds that multiple of the mean per-epoch arrivals so far —
+    the early-stop signature of an unstable operating point, shared by the
+    monolithic and sharded loops.
+    """
+    if config.divergence_factor is None or not trace.records:
+        return False
+    mean_arrivals = trace.arrivals_total / trace.n_epochs_run
+    return (
+        mean_arrivals > 0
+        and trace.records[-1].backlog_end > config.divergence_factor * mean_arrivals
+    )
+
+
+def play_schedule(
+    queues: LinkQueues,
+    slot_links: list[np.ndarray],
+    start: int,
+    epoch_slots: int,
+    overhead_slots: int,
+) -> int:
+    """Play a schedule cyclically over one epoch's remaining data slots.
+
+    The single serving primitive shared by the monolithic loop and the
+    sharded engine (:mod:`repro.traffic.sharded`), so the two serve queues
+    with identical semantics: slots ``overhead_slots .. epoch_slots - 1``
+    each serve one packet on every backlogged member link, cycling through
+    ``slot_links`` (per-slot arrays of link indices) from its first entry.
+    Returns the packet-hops served.
+    """
+    served = 0
+    if slot_links:
+        for t in range(overhead_slots, epoch_slots):
+            served += queues.serve_slot(
+                slot_links[(t - overhead_slots) % len(slot_links)], start + t
+            )
+    return served
 
 
 def run_epochs(
@@ -285,29 +360,28 @@ def run_epochs(
 
         if snapshot.sum() > 0:
             demand_links = replace(links, demand=snapshot)
+            # Thread CPU time, not wall: the sharded engine times each
+            # shard's scheduler on its own worker thread, where wall time
+            # would also charge the GIL waits of the *other* shards.  On
+            # this single-threaded path the two clocks agree.
+            sched_start = time.thread_time()
             planned = scheduler(demand_links, epoch)
+            sched_seconds = time.thread_time() - sched_start
+            trace.scheduling_seconds += sched_seconds
+            trace.critical_path_seconds += sched_seconds
             if cache is not None and cache.last_decision is not None:
                 decision = cache.last_decision
                 cache_hit = decision.hit
                 patched = decision.patched
                 drift = decision.drift if math.isfinite(decision.drift) else 0.0
             schedule_length = planned.schedule.length
-            # Clamp: a scheduler slower than the epoch consumes the whole
-            # epoch and serves nothing — never a negative remainder, never a
-            # modulo wrap, and the recorded overhead never exceeds T.
-            overhead_slots = min(
-                math.ceil(planned.overhead_seconds / cfg.slot_seconds), T
-            )
+            overhead_slots = overhead_to_slots(planned.overhead_seconds, cfg)
             # Only the first T - overhead slots can ever play (the cyclic
             # index stays below the window when the schedule is longer), so
             # don't materialize arrays for the unplayable tail.
             playable = T - overhead_slots
             slot_links = [s.as_array() for s in planned.schedule.slots[:playable]]
-            if slot_links:
-                for t in range(overhead_slots, T):
-                    served += queues.serve_slot(
-                        slot_links[(t - overhead_slots) % len(slot_links)], start + t
-                    )
+            served = play_schedule(queues, slot_links, start, T, overhead_slots)
 
         trace.records.append(
             EpochRecord(
@@ -324,12 +398,7 @@ def run_epochs(
                 drift=drift,
             )
         )
-        mean_arrivals = trace.arrivals_total / trace.n_epochs_run
-        if (
-            cfg.divergence_factor is not None
-            and mean_arrivals > 0
-            and queues.total_backlog() > cfg.divergence_factor * mean_arrivals
-        ):
+        if trace_diverged(trace, cfg):
             trace.diverged = True
             break
     return trace

@@ -1,0 +1,128 @@
+"""Property tests for the spatial partitioner of the sharded epoch engine.
+
+Over random uniform deployments and random tilings/radii:
+
+1. *Exact cover*: every link lands in exactly one shard and the union of
+   shard link sets equals the input ``LinkSet`` (indices, heads, tails,
+   demands).
+2. *Boundary symmetry*: boundary detection depends only on the endpoints'
+   distance to internal tile edges — it is invariant under swapping a
+   link's direction, and monotone in the interference radius.
+3. *Budget safety*: guard budgets never exceed the affordable per-node
+   budget, so every communication edge stays feasible alone under its
+   shard's budgeted oracle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import aggregate_demand, build_routing_forest, random_gateways, uniform_node_demand
+from repro.scheduling.links import forest_link_set
+from repro.topology.network import uniform_network
+from repro.topology.regions import GridTiling
+from repro.traffic import partition_links
+from repro.traffic.sharded import affordable_budget
+from repro.util.rng import spawn
+
+
+def _deployment(seed: int):
+    network = uniform_network(24, density_per_km2=4000.0, rng=spawn(seed, "net"))
+    gws = random_gateways(24, 2, spawn(seed, "gw"))
+    forest = build_routing_forest(network.comm_adj, gws, rng=spawn(seed, "forest"))
+    demand = uniform_node_demand(24, spawn(seed, "demand"), gateways=gws)
+    links = forest_link_set(forest, aggregate_demand(forest, demand))
+    return network, links
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**20),
+    nx=st.integers(min_value=1, max_value=4),
+    ny=st.integers(min_value=1, max_value=4),
+    radius=st.floats(min_value=0.0, max_value=120.0),
+)
+def test_partition_is_an_exact_cover(seed, nx, ny, radius):
+    network, links = _deployment(seed)
+    tiling = GridTiling(network.region, nx, ny)
+    plan = partition_links(
+        links, network.positions, tiling, network.model, radius
+    )
+    indices = [s.link_indices for s in plan.shards]
+    flat = np.concatenate(indices) if indices else np.empty(0, dtype=np.intp)
+    # Every link in exactly one shard.
+    assert np.array_equal(np.sort(flat), np.arange(links.n_links))
+    # The union of shard link sets is the input link set, field by field.
+    heads = np.empty(links.n_links, dtype=np.intp)
+    tails = np.empty(links.n_links, dtype=np.intp)
+    demand = np.empty(links.n_links, dtype=np.int64)
+    for shard in plan.shards:
+        heads[shard.link_indices] = shard.links.heads
+        tails[shard.link_indices] = shard.links.tails
+        demand[shard.link_indices] = shard.links.demand
+    assert np.array_equal(heads, links.heads)
+    assert np.array_equal(tails, links.tails)
+    assert np.array_equal(demand, links.demand)
+    # Each link sits in the tile of its head node.
+    tile_of_node = tiling.tile_of(network.positions)
+    for shard in plan.shards:
+        assert np.all(tile_of_node[shard.links.heads] == shard.tile)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**20),
+    n_shards=st.sampled_from([1, 2, 4, 6, 9]),
+    radius=st.floats(min_value=0.0, max_value=120.0),
+)
+def test_boundary_detection_symmetric_and_radius_monotone(seed, n_shards, radius):
+    network, links = _deployment(seed)
+    tiling = GridTiling.for_tiles(network.region, n_shards)
+    plan = partition_links(
+        links, network.positions, tiling, network.model, radius
+    )
+    near = tiling.internal_edge_distance(network.positions) <= radius
+    mask = plan.boundary_mask()
+    # Symmetric in the link's direction: computed from the endpoint set.
+    np.testing.assert_array_equal(mask, near[links.heads] | near[links.tails])
+    if n_shards == 1:
+        assert not mask.any()
+    # Growing the radius can only grow the boundary set.
+    wider = partition_links(
+        links, network.positions, tiling, network.model, radius + 40.0
+    )
+    assert np.all(mask <= wider.boundary_mask())
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**20),
+    guard=st.floats(min_value=0.0, max_value=30.0),
+)
+def test_guard_budget_never_breaks_a_link(seed, guard):
+    network, links = _deployment(seed)
+    model = network.model
+    plan = partition_links(
+        links,
+        network.positions,
+        GridTiling.for_tiles(network.region, 4),
+        model,
+        interference_radius_m=100.0,
+        guard_factor=guard,
+    )
+    afford = affordable_budget(links, model)
+    noise = model.radio.noise_mw
+    beta = model.radio.beta
+    for shard in plan.shards:
+        if shard.budget_mw is None:
+            assert guard == 0.0 or not shard.boundary.any()
+            continue
+        assert np.all(shard.budget_mw >= 0.0)
+        assert np.all(shard.budget_mw <= np.maximum(guard * noise, 0.0) + 1e-15)
+        assert np.all(shard.budget_mw <= afford + 1e-15)
+        # Standalone feasibility under the budgeted oracle: data and ACK
+        # both clear beta against noise + budget.
+        p = model.power
+        h, t = shard.links.heads, shard.links.tails
+        assert np.all(p[h, t] >= beta * (noise + shard.budget_mw[t]) - 1e-12)
+        assert np.all(p[t, h] >= beta * (noise + shard.budget_mw[h]) - 1e-12)

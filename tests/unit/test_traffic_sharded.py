@@ -1,0 +1,297 @@
+"""Unit tests for the sharded epoch engine's building blocks.
+
+Tiling arithmetic, partition/boundary/budget construction, the
+reconciliation pass, and the zero/empty edges of ``TrafficTrace``
+accounting (zero-epoch traces must not divide by zero or crash on empty
+arrays anywhere in the summary pipeline).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import grid_scenario
+from repro.phy.interference import PhysicalInterferenceModel
+from repro.scheduling.feasibility import SlotState
+from repro.topology.regions import GridTiling, SquareRegion, tile_counts_for
+from repro.traffic import (
+    EpochConfig,
+    TrafficTrace,
+    backlog_slope,
+    is_stable,
+    partition_links,
+    plan_for_network,
+    reconcile_round,
+    stability_margin,
+    summarize_trace,
+)
+from repro.traffic.sharded import affordable_budget
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return grid_scenario(1000.0, rep=0, rows=6, cols=6, n_gateways=2)
+
+
+# ---------------------------------------------------------------------------
+# Tiling arithmetic
+# ---------------------------------------------------------------------------
+
+
+def test_tile_counts_factorization():
+    assert tile_counts_for(1) == (1, 1)
+    assert tile_counts_for(4) == (2, 2)
+    assert tile_counts_for(6) == (3, 2)
+    assert tile_counts_for(5) == (5, 1)
+    with pytest.raises(ValueError):
+        tile_counts_for(0)
+
+
+def test_tile_of_covers_region_exactly_once():
+    tiling = GridTiling(SquareRegion(100.0), nx=2, ny=2)
+    pos = np.array([[10.0, 10.0], [60.0, 10.0], [10.0, 60.0], [99.0, 99.0]])
+    assert tiling.tile_of(pos).tolist() == [0, 1, 2, 3]
+    # The outer boundary clamps inward: corner positions still land in a tile.
+    edge = np.array([[100.0, 100.0], [0.0, 100.0], [100.0, 0.0]])
+    assert tiling.tile_of(edge).tolist() == [3, 2, 1]
+
+
+def test_internal_edge_distance_single_tile_is_infinite():
+    tiling = GridTiling(SquareRegion(100.0), nx=1, ny=1)
+    pos = np.array([[0.0, 0.0], [50.0, 50.0]])
+    assert np.all(np.isinf(tiling.internal_edge_distance(pos)))
+
+
+def test_internal_edge_distance_measures_nearest_cut():
+    tiling = GridTiling(SquareRegion(100.0), nx=2, ny=2)
+    pos = np.array([[40.0, 10.0], [10.0, 45.0], [50.0, 50.0], [1.0, 2.0]])
+    dist = tiling.internal_edge_distance(pos)
+    assert dist == pytest.approx([10.0, 5.0, 0.0, 48.0])
+
+
+# ---------------------------------------------------------------------------
+# Partitioning
+# ---------------------------------------------------------------------------
+
+
+def test_partition_links_disjoint_union(mesh):
+    plan = plan_for_network(mesh.links, mesh.network, n_shards=4,
+                            interference_radius_m=60.0)
+    seen = np.concatenate([s.link_indices for s in plan.shards])
+    assert np.array_equal(np.sort(seen), np.arange(mesh.links.n_links))
+    for shard in plan.shards:
+        np.testing.assert_array_equal(
+            shard.links.heads, mesh.links.heads[shard.link_indices]
+        )
+        assert shard.n_shards == plan.n_shards
+
+
+def test_single_shard_plan_has_no_boundary_and_no_budget(mesh):
+    plan = plan_for_network(mesh.links, mesh.network, n_shards=1,
+                            interference_radius_m=60.0)
+    assert plan.n_shards == 1
+    assert not plan.boundary_mask().any()
+    assert plan.shards[0].budget_mw is None
+    # with_budget(None) must return the identical oracle object.
+    model = mesh.network.model
+    assert model.with_budget(plan.shards[0].budget_mw) is model
+
+
+def test_boundary_detection_symmetric_in_endpoints(mesh):
+    plan = plan_for_network(mesh.links, mesh.network, n_shards=4,
+                            interference_radius_m=60.0)
+    tiling = plan.tiling
+    near = tiling.internal_edge_distance(mesh.network.positions) <= 60.0
+    for shard in plan.shards:
+        expected = near[shard.links.heads] | near[shard.links.tails]
+        np.testing.assert_array_equal(shard.boundary, expected)
+
+
+def test_guard_budget_clamped_to_affordable(mesh):
+    model = mesh.network.model
+    afford = affordable_budget(mesh.links, model)
+    plan = plan_for_network(mesh.links, mesh.network, n_shards=4,
+                            interference_radius_m=60.0, guard_factor=50.0)
+    for shard in plan.shards:
+        if shard.budget_mw is None:
+            continue
+        assert np.all(shard.budget_mw <= afford + 1e-12)
+        # Every link must remain feasible alone under its shard's oracle.
+        budgeted = model.with_budget(shard.budget_mw)
+        for k in range(shard.links.n_links):
+            state = SlotState(budgeted)
+            assert state.can_add(
+                int(shard.links.heads[k]), int(shard.links.tails[k])
+            )
+
+
+def test_zero_guard_factor_installs_no_budget(mesh):
+    plan = plan_for_network(mesh.links, mesh.network, n_shards=4,
+                            interference_radius_m=60.0, guard_factor=0.0)
+    assert all(s.budget_mw is None for s in plan.shards)
+    assert plan.boundary_mask().any()  # boundary detection is independent
+
+
+def test_partition_validates_inputs(mesh):
+    tiling = GridTiling(mesh.network.region, 2, 2)
+    with pytest.raises(ValueError):
+        partition_links(mesh.links, mesh.network.positions, tiling,
+                        mesh.network.model, interference_radius_m=-1.0)
+    with pytest.raises(ValueError):
+        partition_links(mesh.links, mesh.network.positions, tiling,
+                        mesh.network.model, 10.0, guard_factor=-0.5)
+
+
+# ---------------------------------------------------------------------------
+# Budgeted feasibility
+# ---------------------------------------------------------------------------
+
+
+def test_budgeted_model_is_stricter_but_consistent(mesh):
+    model = mesh.network.model
+    budget = np.full(model.n_nodes, model.radio.noise_mw)
+    budgeted = model.with_budget(budget)
+    assert isinstance(budgeted, PhysicalInterferenceModel)
+    snd = mesh.links.heads[:4]
+    rcv = mesh.links.tails[:4]
+    data, ack = model.link_sinrs(snd, rcv)
+    bdata, back = budgeted.link_sinrs(snd, rcv)
+    assert np.all(bdata <= data + 1e-12)
+    assert np.all(back <= ack + 1e-12)
+    # Budget feasibility implies exact feasibility (margins only shrink).
+    if budgeted.is_feasible(snd, rcv):
+        assert model.is_feasible(snd, rcv)
+
+
+# ---------------------------------------------------------------------------
+# Reconciliation
+# ---------------------------------------------------------------------------
+
+
+def test_reconcile_round_keeps_feasible_slots_verbatim(mesh):
+    model = mesh.network.model
+    # Single-link slots are always feasible: nothing to do.
+    combined = [np.array([k], dtype=np.intp) for k in range(4)]
+    kept, moved = reconcile_round(combined, mesh.links, model)
+    assert moved == 0
+    assert [k.tolist() for k in kept] == [[0], [1], [2], [3]]
+
+
+def test_reconcile_round_serializes_violations(mesh):
+    links, model = mesh.links, mesh.network.model
+    # Find two links sharing a node (parent/child): guaranteed infeasible
+    # concurrently (half-duplex), so reconciliation must split them.
+    pair = None
+    for a in range(links.n_links):
+        for b in range(links.n_links):
+            if a != b and links.tails[a] == links.heads[b]:
+                pair = (a, b)
+                break
+        if pair:
+            break
+    assert pair is not None
+    combined = [np.array(pair, dtype=np.intp)]
+    kept, moved = reconcile_round(combined, links, model)
+    assert moved >= 1
+    # Every membership survives, just serialized.
+    flat = sorted(int(k) for slot in kept for k in slot)
+    assert flat == sorted(pair)
+    # And every reconciled slot is feasible under the exact model.
+    for slot in kept:
+        assert model.is_feasible(links.heads[slot], links.tails[slot])
+
+
+def test_reconcile_round_keeps_standalone_infeasible_links_alone(mesh):
+    """A link that fails SINR even alone gets a *closed* dedicated slot.
+
+    Nothing may pack after it — its interference was never evaluated — so
+    other serialized links must land in their own (feasible) slots.
+    """
+    network = mesh.network
+    model = network.model
+    # Fabricate a non-communication edge: the two nodes farthest apart.
+    pos = network.positions
+    d2 = ((pos[:, None, :] - pos[None, :, :]) ** 2).sum(-1)
+    far_a, far_b = np.unravel_index(np.argmax(d2), d2.shape)
+    base = mesh.links
+    # Pick two real links not touching the far pair.
+    ok = [
+        k for k in range(base.n_links)
+        if {int(base.heads[k]), int(base.tails[k])}.isdisjoint({int(far_a), int(far_b)})
+    ][:2]
+    from repro.scheduling.links import LinkSet
+
+    links = LinkSet(
+        heads=np.array([far_a, base.heads[ok[0]], base.heads[ok[1]]]),
+        tails=np.array([far_b, base.tails[ok[0]], base.tails[ok[1]]]),
+        demand=np.array([1, 1, 1]),
+        ids=np.array([1000, 1001, 1002]),
+    )
+    state = SlotState(model)
+    assert not state.can_add(int(far_a), int(far_b))  # genuinely infeasible alone
+
+    # All three in one slot: the dead link (SINR 0 => lowest margin) and at
+    # least one sibling get peeled; the dead link's slot must stay closed.
+    combined = [np.array([0, 1, 2], dtype=np.intp)]
+    kept, moved = reconcile_round(combined, links, model)
+    assert moved >= 1
+    flat = sorted(int(k) for slot in kept for k in slot)
+    assert flat == [0, 1, 2]  # serialized, never dropped
+    for slot in kept:
+        if 0 in slot.tolist():
+            assert slot.tolist() == [0], (
+                "nothing may share a slot with a standalone-infeasible link"
+            )
+        else:
+            assert model.is_feasible(links.heads[slot], links.tails[slot])
+
+
+# ---------------------------------------------------------------------------
+# TrafficTrace zero/empty edges
+# ---------------------------------------------------------------------------
+
+
+def test_zero_epoch_trace_accounting_is_total():
+    trace = TrafficTrace(config=EpochConfig())
+    assert trace.n_epochs_run == 0
+    assert trace.total_slots == 0
+    assert trace.arrivals_total == 0
+    assert trace.delivered_total == 0
+    assert trace.overhead_slots_total == 0
+    assert trace.cache_hits == 0
+    assert trace.patched_epochs == 0
+    assert trace.reconciled_total == 0
+    assert trace.cache_hit_rate == 0.0  # no requests: not a division by zero
+    series = trace.backlog_series()
+    assert series.size == 0 and series.dtype == np.int64
+    assert trace.summary() == (
+        "TrafficTrace(epochs=0, arrivals=0, delivered=0, backlog=0)"
+    )
+
+
+def test_zero_epoch_trace_stability_pipeline():
+    trace = TrafficTrace(config=EpochConfig())
+    assert backlog_slope(trace) == 0.0
+    assert stability_margin(trace) == 0.0
+    assert is_stable(trace)
+    metrics = summarize_trace(trace, offered_rate=0.01)
+    assert metrics.throughput == 0.0
+    assert np.isnan(metrics.mean_delay) and np.isnan(metrics.p99_delay)
+    assert metrics.backlog_final == 0
+    assert metrics.overhead_slots == 0.0
+    assert metrics.cache_hit_rate == 0.0
+    assert "stable" in str(metrics)
+
+
+def test_all_zero_demand_trace_has_zero_hit_rate():
+    # Records exist but the scheduler was never asked: rate stays 0, not 0/0.
+    from repro.traffic import EpochRecord
+
+    trace = TrafficTrace(config=EpochConfig())
+    trace.records.append(
+        EpochRecord(
+            epoch=0, arrivals=0, served=0, delivered=0, backlog_end=0,
+            demand_scheduled=0, schedule_length=0, overhead_slots=0,
+        )
+    )
+    assert trace.cache_hit_rate == 0.0
+    assert trace.summary().endswith("backlog=0)")
