@@ -40,12 +40,21 @@ def bench_profile() -> ExperimentProfile:
 
 @pytest.fixture(scope="session")
 def save_table():
-    """Persist a rendered table under benchmarks/results/<name>.txt."""
+    """Persist a rendered table under benchmarks/results/<name>.txt.
 
-    def _save(name: str, table) -> None:
+    ``volatile`` names columns whose cells are not run-to-run reproducible
+    (wall-clock timings, host-dependent speedups); they are masked with
+    ``~`` in the *persisted* snapshot — via
+    :meth:`~repro.analysis.tables.TextTable.redacted` — so committed
+    results only ever diff when the science changes.  The full table,
+    volatile cells included, is still printed to the log (and the caller
+    keeps the unmasked object for assertions).
+    """
+
+    def _save(name: str, table, volatile: tuple[str, ...] = ()) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
-        rendered = table.render()
-        (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
-        print(f"\n{rendered}")
+        persisted = table.redacted(volatile) if volatile else table
+        (RESULTS_DIR / f"{name}.txt").write_text(persisted.render() + "\n")
+        print(f"\n{table.render()}")
 
     return _save

@@ -1,0 +1,66 @@
+"""Bench for the flow-session admission-control experiment (E10).
+
+Runs the admission harness — flow sessions (Poisson churn, heavy-tailed
+sizes, CBR/elastic mix) over the overhead-priced FDD closed loop — at
+offered loads 1x to 3x the E7-measured stability knee under every
+controller, records the SLA table, and asserts the PR's headline:
+
+* the uncontrolled baseline (``none``) is unstable at every offered load
+  at or past the knee;
+* at every overload >= 1.5x the knee, the ``knee-tracker`` — which only
+  ever sees observable signals, never λ* — keeps the backlog stable
+  (slope-and-gate verdict), reports a nonzero session blocking
+  probability, and holds admitted goodput at or above the uncontrolled
+  loop's knee throughput;
+* blocking grows with the offered load (the excess is shed at the session
+  doorstep, not queued).
+"""
+
+import pytest
+
+from repro.experiments.admission import admission_experiment
+
+
+def _rows(table):
+    """Map (controller, offered factor) -> row."""
+    return {(row[0], row[1]): row for row in table._rows}
+
+
+@pytest.mark.benchmark(group="traffic")
+def test_admission_control_holds_goodput_past_the_knee(
+    benchmark, bench_profile, save_table
+):
+    table = benchmark.pedantic(
+        admission_experiment, args=(bench_profile,), rounds=1, iterations=1
+    )
+    save_table("admission", table)
+
+    controllers = bench_profile.admission_controllers
+    factors = bench_profile.admission_load_factors
+    assert table.n_rows == len(controllers) * len(factors)
+    rows = _rows(table)
+
+    # --- The uncontrolled loop cannot hold any load at/past the knee.
+    for factor in factors:
+        assert rows[("none", f"{factor:g}x")][-1] == "NO", (
+            f"uncontrolled run at {factor}x the knee should be unstable"
+        )
+
+    # --- The knee tracker: stable, blocking, goodput >= the uncontrolled
+    # knee throughput, at every overload >= 1.5x.
+    knee_goodput = float(rows[("none", "1x")][3])
+    blocking = []
+    for factor in (f for f in factors if f >= 1.5):
+        row = rows[("knee-tracker", f"{factor:g}x")]
+        assert row[-1] == "yes", f"knee tracker unstable at {factor}x the knee"
+        goodput = float(row[3])
+        assert goodput >= knee_goodput, (
+            f"knee tracker at {factor}x delivers {goodput:.3f} pkt/slot, below "
+            f"the uncontrolled knee throughput {knee_goodput:.3f}"
+        )
+        shed = float(row[4].rstrip("%"))
+        assert shed > 0, f"no sessions blocked at {factor}x the knee"
+        blocking.append(shed)
+    assert blocking == sorted(blocking), (
+        "session blocking should grow with the offered load"
+    )

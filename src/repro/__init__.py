@@ -84,6 +84,13 @@ from repro.traffic import (
     PoissonArrivals,
     ParetoOnOff,
     DiurnalLoad,
+    FlowConfig,
+    FlowWorkload,
+    KneeTracker,
+    StaticCap,
+    Backpressure,
+    RegionalControllers,
+    make_controller,
     LinkQueues,
     EpochConfig,
     TrafficTrace,
@@ -170,6 +177,13 @@ __all__ = [
     "PoissonArrivals",
     "ParetoOnOff",
     "DiurnalLoad",
+    "FlowConfig",
+    "FlowWorkload",
+    "KneeTracker",
+    "StaticCap",
+    "Backpressure",
+    "RegionalControllers",
+    "make_controller",
     "LinkQueues",
     "EpochConfig",
     "TrafficTrace",

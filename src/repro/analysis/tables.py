@@ -30,6 +30,27 @@ class TextTable:
     def n_rows(self) -> int:
         return len(self._rows)
 
+    def redacted(self, columns: Sequence[str], placeholder: str = "~") -> "TextTable":
+        """A copy with every cell of the named columns replaced.
+
+        For persisting run-to-run snapshots: columns that carry wall-clock
+        measurements (or anything else nondeterministic) are masked with a
+        stable ``placeholder`` so re-running a bench never churns the
+        committed snapshot's rows.  Unknown column names raise — a renamed
+        column must not silently start leaking volatile cells again.
+        """
+        unknown = [c for c in columns if c not in self.columns]
+        if unknown:
+            raise ValueError(f"unknown columns to redact: {unknown}")
+        masked = TextTable(self.columns, title=self.title)
+        targets = [i for i, c in enumerate(self.columns) if c in columns]
+        for row in self._rows:
+            cells = list(row)
+            for i in targets:
+                cells[i] = placeholder
+            masked._rows.append(cells)
+        return masked
+
     def render(self) -> str:
         widths = [
             max(len(col), *(len(r[i]) for r in self._rows)) if self._rows else len(col)

@@ -12,14 +12,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import NO_FAULTS, FaultConfig, ProtocolConfig
-from repro.core.fast_runtime import FastRuntime
-from repro.core.protocol import ProtocolResult, run_protocol
+from repro.core.protocol import ProtocolResult, run_on_network, run_protocol
 from repro.core.runtime import Runtime
 from repro.core.states import NodeState
 from repro.phy.interference import PhysicalInterferenceModel
 from repro.scheduling.links import LinkSet
 from repro.topology.network import Network
-from repro.util.rng import ensure_rng, spawn
 
 
 def make_pdd_select_active(p_active: float):
@@ -69,15 +67,16 @@ def pdd_on_network(
 ) -> ProtocolResult:
     """Convenience wrapper: run PDD over a fresh FastRuntime on ``network``.
 
-    ``model`` optionally replaces the network's feasibility oracle (e.g. a
-    guard-margin budgeted oracle from the sharded epoch engine); handshake
-    outcomes then reflect the substituted model.
+    See :func:`~repro.core.protocol.run_on_network` for the shared
+    semantics, including the optional feasibility-oracle ``model`` override.
     """
-    cfg = config or ProtocolConfig()
-    root = ensure_rng(rng)
-    runtime = FastRuntime.for_network(
-        network, cfg, faults=faults, rng=spawn(root, "runtime"), model=model
-    )
-    return run_pdd(
-        links, runtime, cfg, rng=spawn(root, "protocol"), record_rounds=record_rounds
+    return run_on_network(
+        network,
+        links,
+        run_pdd,
+        config=config,
+        faults=faults,
+        rng=rng,
+        record_rounds=record_rounds,
+        model=model,
     )

@@ -18,7 +18,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.config import ProtocolConfig
+from repro.core.config import NO_FAULTS, FaultConfig, ProtocolConfig
 from repro.core.events import StepTally
 from repro.core.runtime import Runtime
 from repro.core.states import NodeState
@@ -294,6 +294,47 @@ def _greedy_schedule_slot(
 
     members = np.flatnonzero((state == ALLOCATED) | (state == CONTROL))
     return members, steps
+
+
+def run_on_network(
+    network,
+    links: LinkSet,
+    runner: Callable[..., ProtocolResult],
+    config: ProtocolConfig | None = None,
+    faults: FaultConfig = NO_FAULTS,
+    rng: np.random.Generator | int | None = None,
+    record_rounds: bool = False,
+    model=None,
+) -> ProtocolResult:
+    """Shared body of the ``fdd/pdd/afdd_on_network`` convenience wrappers.
+
+    Builds a fresh :class:`~repro.core.fast_runtime.FastRuntime` on
+    ``network`` and hands it to ``runner`` (``run_fdd`` / ``run_pdd`` /
+    ``run_afdd``), deriving the runtime and protocol rng substreams
+    exactly as the wrappers always did (``spawn(root, "runtime")`` /
+    ``spawn(root, "protocol")``), so traces are bit-identical to the
+    previous per-protocol copies.  ``model`` optionally replaces the
+    network's feasibility oracle (e.g. a guard-margin budgeted oracle from
+    the sharded epoch engine); handshake outcomes then reflect the
+    substituted model.
+    """
+    # Imported here: fast_runtime is a sibling that higher layers pull in
+    # through the protocol wrappers, keeping this module runtime-agnostic.
+    from repro.core.fast_runtime import FastRuntime
+    from repro.util.rng import ensure_rng, spawn
+
+    cfg = config or ProtocolConfig()
+    root = ensure_rng(rng)
+    runtime = FastRuntime.for_network(
+        network,
+        cfg,
+        faults=faults,
+        rng=spawn(root, "runtime"),
+        model=model,
+    )
+    return runner(
+        links, runtime, cfg, rng=spawn(root, "protocol"), record_rounds=record_rounds
+    )
 
 
 def _check_link_ids(links: LinkSet, runtime: Runtime) -> None:

@@ -1,0 +1,166 @@
+"""E10 — online admission control around the measured stability knee.
+
+E7 located the FDD closed loop's capacity knee on the paper's 8x8 planned
+grid (λ* = 0.019 pkt/node/slot, overhead-priced); E10 offers *session*
+load well past it — 1.5x to 3x — and compares what each admission
+controller (:mod:`repro.traffic.admission`) makes of the overload.  The
+workload is the flow-session layer of :mod:`repro.traffic.flows`: Poisson
+session churn, heavy-tailed transfer sizes, a CBR/elastic class mix, and
+per-flow token-bucket policing, calibrated so the long-run offered rate
+equals the swept multiple of the knee.
+
+Per operating point the table reports the user-facing SLA triple the
+per-node sweeps of E7–E9 could not: session blocking probability,
+admitted goodput, and the p99 over *per-flow* mean delays — plus the
+backlog-slope stability verdict.  The expected headlines:
+
+* ``none`` (differential baseline) diverges at every offered load past
+  the knee — exactly the uncontrolled engine;
+* ``knee-tracker`` — which only sees observable signals (arrivals,
+  backlog, delivered counts) and is never told λ* — holds the backlog
+  slope near zero at 1.5–3x overload while keeping admitted goodput at or
+  above the uncontrolled loop's knee throughput, shedding the excess as
+  session blocking instead of unbounded queueing;
+* ``static-cap`` (told the knee) is the ceiling the tracker chases;
+* ``backpressure`` throttles spatially — flows crossing hot links — and
+  sits between ``none`` and the rate-cap controllers on bursty overloads.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import TextTable
+from repro.core.fdd import fdd_on_network
+from repro.experiments.common import PAPER_PROTOCOL, ExperimentProfile
+from repro.experiments.heavy_traffic import _grid_mesh
+from repro.traffic import (
+    EpochConfig,
+    FlowConfig,
+    FlowWorkload,
+    StabilityMetrics,
+    distributed_scheduler,
+    make_controller,
+    run_epochs,
+    summarize_trace,
+)
+from repro.util.rng import spawn
+
+
+def session_config(profile: ExperimentProfile, rate: float, n_sources: int) -> FlowConfig:
+    """The E10 session population offering ``rate`` pkt/node/slot."""
+    return FlowConfig.for_offered_rate(
+        rate,
+        n_sources,
+        profile.traffic_epoch_slots,
+        mean_size=profile.admission_mean_flow_size,
+        cbr_fraction=profile.admission_cbr_fraction,
+        elastic_rate=profile.admission_elastic_rate,
+        max_size_factor=profile.admission_max_size_factor,
+    )
+
+
+def build_controller(profile: ExperimentProfile, name: str, n_sources: int):
+    """Instantiate a controller by name, sizing the static cap from the
+    E7-measured knee (the one controller that is *told* λ*)."""
+    if name == "static-cap":
+        return make_controller(name, cap=profile.admission_knee_rate * n_sources)
+    return make_controller(name)
+
+
+def admission_point(
+    profile: ExperimentProfile,
+    links,
+    scheduler,
+    config: EpochConfig,
+    controller_name: str,
+    rate: float,
+    seed_index: int = 0,
+) -> tuple[StabilityMetrics, FlowWorkload]:
+    """Run one (controller, offered-rate) operating point; return its
+    metrics (session fields populated) and the finished workload."""
+    n_sources = links.n_links
+    key = ("admission-wl",) if seed_index == 0 else ("admission-wl", seed_index)
+    workload = FlowWorkload(
+        links,
+        session_config(profile, rate, n_sources),
+        controller=build_controller(profile, controller_name, n_sources),
+        seed=spawn(profile.seed, *key),
+    )
+    trace = run_epochs(links, workload, scheduler, config, on_epoch=workload.observe)
+    return summarize_trace(trace, rate, session=workload), workload
+
+
+def admission_experiment(profile: ExperimentProfile) -> TextTable:
+    """E10: admission controllers vs offered loads past the FDD knee."""
+    network, gateways, links = _grid_mesh(profile)
+    # The early-stop guard is looser than E7's (8x vs 4x the mean epoch
+    # arrivals): a controller that caps *at* the estimated knee holds the
+    # pre-control backlog as a standing, zero-slope queue — bounded, and
+    # exactly what the stability verdict should judge, not the guard.
+    # The demand cap bounds the backlog snapshot the scheduler sees in
+    # overload: FDD's air time scales with the scheduled demand vector, and
+    # cyclic replay re-serves a capped hot link every schedule cycle anyway,
+    # so the cap trims protocol overhead in the overloaded regime without
+    # costing served capacity (per-link backlogs at stable operating points
+    # sit far below it).
+    config = EpochConfig(
+        epoch_slots=profile.traffic_epoch_slots,
+        n_epochs=profile.admission_epochs,
+        slot_seconds=profile.traffic_slot_seconds,
+        divergence_factor=8.0,
+        demand_cap=max(1, profile.traffic_epoch_slots // 10),
+    )
+    knee = profile.admission_knee_rate
+
+    table = TextTable(
+        [
+            "controller",
+            "offered (x knee)",
+            "lambda (pkt/node/slot)",
+            "goodput (pkt/slot)",
+            "blocking (%)",
+            "flow p99 delay (slots)",
+            "mean delay (slots)",
+            "backlog growth (pkt/epoch)",
+            "overhead (slots/epoch)",
+            "stable",
+        ],
+        title="Admission control at the stability knee — FDD (overhead-priced) "
+        f"on the 8x8 planned grid, density {profile.traffic_density:g}/km^2, "
+        f"flow sessions (Poisson churn, Pareto sizes, "
+        f"{profile.admission_cbr_fraction:.0%} CBR), "
+        f"knee lambda*={knee:g} from E7, "
+        f"T={profile.traffic_epoch_slots} slots/epoch, "
+        f"{profile.admission_epochs} epochs",
+    )
+
+    for name in profile.admission_controllers:
+        for factor in profile.admission_load_factors:
+            # A fresh overhead-priced FDD scheduler per operating point, on
+            # E7's derivation path: identical protocol behaviour, and every
+            # controller faces the same arrival sample path (common random
+            # numbers — SLA differences are controller policy, not luck).
+            scheduler = distributed_scheduler(
+                network,
+                fdd_on_network,
+                config=PAPER_PROTOCOL,
+                seed=spawn(profile.seed, "traffic-fdd"),
+            )
+            point, workload = admission_point(
+                profile, links, scheduler, config, name, knee * factor
+            )
+            p99 = point.flow_p99_delay
+            table.add_row(
+                name,
+                f"{factor:g}x",
+                f"{point.offered_rate:g}",
+                f"{point.admitted_goodput:.3f}",
+                f"{point.blocking_probability:.0%}",
+                "-" if math.isnan(p99) else f"{p99:.0f}",
+                f"{point.mean_delay:.1f}",
+                f"{point.backlog_slope:+.1f}",
+                f"{point.overhead_slots:.1f}",
+                "yes" if point.stable else "NO",
+            )
+    return table

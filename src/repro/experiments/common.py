@@ -79,6 +79,22 @@ class ExperimentProfile:
     sharded_radius_m: float = 80.0
     sharded_guard_factor: float = 1.0
     sharded_epochs: int = 8
+    #: E10 admission-control axis: offered load as multiples of the
+    #: uncontrolled FDD knee measured by E7 (``admission_knee_rate``), the
+    #: controllers compared, and the flow-session population shape.
+    admission_controllers: tuple[str, ...] = (
+        "none",
+        "static-cap",
+        "knee-tracker",
+        "backpressure",
+    )
+    admission_load_factors: tuple[float, ...] = (1.0, 1.5, 2.0, 3.0)
+    admission_knee_rate: float = 0.019  # E7's FDD knee on the 8x8 grid
+    admission_epochs: int = 12
+    admission_mean_flow_size: int = 30
+    admission_cbr_fraction: float = 0.3
+    admission_elastic_rate: float = 0.08
+    admission_max_size_factor: float = 10.0
     seed: int = DEFAULT_SEED
 
 
@@ -100,6 +116,9 @@ QUICK = ExperimentProfile(
     sharded_grids=((12, 12),),
     sharded_lambdas=((0.002, 0.004),),
     sharded_epochs=5,
+    admission_controllers=("none", "knee-tracker"),
+    admission_load_factors=(1.0, 2.0),
+    admission_epochs=8,
 )
 
 #: The paper's protocol constants (Section VI-A).

@@ -20,6 +20,7 @@ from typing import Callable
 from repro.analysis.tables import TextTable
 from repro.experiments import (
     ablations,
+    admission,
     approximation,
     exec_time,
     heavy_traffic,
@@ -58,6 +59,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentProfile], TextTable]]] = {
     "sharded": (
         "E9 — sharded multi-region epoch engine vs the monolithic loop",
         sharded.sharded_experiment,
+    ),
+    "admission": (
+        "E10 — flow-session admission control past the stability knee",
+        admission.admission_experiment,
     ),
     "mote-error": (
         "E1/Fig4 — SCREAM detection error vs SCREAM size (mote testbed)",

@@ -313,6 +313,7 @@ def run_epochs(
     scheduler: EpochSchedulerFn,
     config: EpochConfig | None = None,
     model: PhysicalInterferenceModel | None = None,
+    on_epoch: Callable[[EpochRecord, LinkQueues], None] | None = None,
 ) -> TrafficTrace:
     """Run the closed arrival/reschedule/serve loop; return its trace.
 
@@ -322,6 +323,11 @@ def run_epochs(
     :class:`~repro.traffic.incremental.ScheduleCache` passed directly as
     ``scheduler`` is used as-is, whatever the policy says, and its per-epoch
     decisions are recorded either way.
+
+    ``on_epoch`` is the loop's observable feedback channel: called after
+    every epoch's record is appended, with the record and the live queues.
+    Admission controllers (:mod:`repro.traffic.admission`) hang off it —
+    wire ``on_epoch=workload.observe`` — and it must not mutate the queues.
     """
     # Imported here, not at module top: incremental.py imports EpochSchedule
     # from this module.
@@ -398,6 +404,8 @@ def run_epochs(
                 drift=drift,
             )
         )
+        if on_epoch is not None:
+            on_epoch(trace.records[-1], queues)
         if trace_diverged(trace, cfg):
             trace.diverged = True
             break

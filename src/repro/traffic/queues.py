@@ -46,11 +46,19 @@ class LinkQueues:
             [by_head.get(int(t), -1) for t in links.tails], dtype=np.intp
         )
         self.backlog = np.zeros(n, dtype=np.int64)
+        # Batches are [birth_slot, count, source_link]: the entry link is
+        # carried through every relay so deliveries can be attributed back
+        # to the source that injected them (the flow-session layer's SLA
+        # accounting keys on it).  Same-birth batches from different
+        # sources stay separate, which changes nothing observable — all
+        # same-birth packets at a link are interchangeable.
         self._fifo: list[deque[list[int]]] = [deque() for _ in range(n)]
         self.arrivals_total = 0
         self.delivered_total = 0
         self.served_total = 0  # packet-hops: every successful transmission
         self.delays: list[int] = []  # per delivered packet, in slots
+        self.births: list[int] = []  # per delivered packet, its birth slot
+        self.sources: list[int] = []  # per delivered packet, its entry link
 
     @property
     def n_links(self) -> int:
@@ -91,15 +99,18 @@ class LinkQueues:
         """
         idx = np.asarray(link_indices, dtype=np.intp)
         ready = idx[self.backlog[idx] > 0]
-        moves: list[tuple[int, int]] = []  # (next link or -1, birth slot)
+        moves: list[tuple[int, int, int]] = []  # (next link or -1, birth, source)
         for k in ready:
-            moves.append((int(self.next_link[k]), self._pop(int(k))))
-        for nxt, birth in moves:
+            birth, source = self._pop(int(k))
+            moves.append((int(self.next_link[k]), birth, source))
+        for nxt, birth, source in moves:
             if nxt < 0:
                 self.delivered_total += 1
                 self.delays.append(int(time) - birth + 1)
+                self.births.append(birth)
+                self.sources.append(source)
             else:
-                self._push(nxt, birth, 1)
+                self._push(nxt, birth, 1, source)
         self.served_total += len(moves)
         return len(moves)
 
@@ -116,23 +127,25 @@ class LinkQueues:
                 f"{self.delivered_total} delivered, {queued} queued"
             )
 
-    def _push(self, k: int, birth: int, count: int) -> None:
+    def _push(self, k: int, birth: int, count: int, source: int | None = None) -> None:
+        src = k if source is None else source
         fifo = self._fifo[k]
-        if fifo and fifo[-1][0] == birth:
+        if fifo and fifo[-1][0] == birth and fifo[-1][2] == src:
             fifo[-1][1] += count
         else:
-            fifo.append([birth, count])
+            fifo.append([birth, count, src])
         self.backlog[k] += count
 
-    def _pop(self, k: int) -> int:
-        """Remove the oldest packet from queue ``k``; return its birth slot."""
+    def _pop(self, k: int) -> tuple[int, int]:
+        """Remove the oldest packet from queue ``k``; return (birth, source)."""
         fifo = self._fifo[k]
         if not fifo:
             raise IndexError(f"queue {k} is empty")
         head = fifo[0]
         head[1] -= 1
         birth = head[0]
+        source = head[2]
         if head[1] == 0:
             fifo.popleft()
         self.backlog[k] -= 1
-        return birth
+        return birth, source

@@ -506,6 +506,7 @@ def run_epochs_sharded(
     model: PhysicalInterferenceModel,
     config: EpochConfig | None = None,
     max_workers: int = 1,
+    on_epoch: Callable[[EpochRecord, LinkQueues], None] | None = None,
 ) -> ShardedTrafficTrace:
     """Run the closed traffic loop with per-shard scheduling; return its trace.
 
@@ -525,6 +526,10 @@ def run_epochs_sharded(
     :class:`~repro.traffic.incremental.ScheduleCache` over its budgeted
     oracle; an epoch records ``cache_hit`` when every shard it asked hit,
     and ``patched`` when any shard patched (and not all hit).
+
+    ``on_epoch`` mirrors :func:`~repro.traffic.epoch.run_epochs`: the
+    feedback channel admission controllers observe, called with every
+    appended record and the live global queues.
     """
     from repro.traffic.incremental import ScheduleCache
 
@@ -696,6 +701,8 @@ def run_epochs_sharded(
                     reconciled=reconciled,
                 )
             )
+            if on_epoch is not None:
+                on_epoch(trace.records[-1], queues)
             if trace_diverged(trace, cfg):
                 trace.diverged = True
                 break

@@ -65,45 +65,63 @@ class StabilityMetrics:
     overhead_slots: float = 0.0  # amortized protocol overhead, slots per epoch
     cache_hit_rate: float = 0.0  # epochs that avoided a full scheduler re-run
     confirm_seeds: int = 1  # arrival seeds behind the stable verdict
+    # Flow-session SLA accounting (repro.traffic.admission); all three stay
+    # at their defaults when the operating point carries no session layer.
+    blocking_probability: float = float("nan")  # sessions rejected at arrival
+    admitted_goodput: float = float("nan")  # delivered pkt/slot of admitted flows
+    flow_p99_delay: float = float("nan")  # p99 over per-flow mean delays, slots
 
     def __str__(self) -> str:
         state = "stable" if self.stable else "UNSTABLE"
         if self.confirm_seeds > 1:
             state += f" ({self.confirm_seeds}-seed majority)"
-        return (
+        text = (
             f"lambda={self.offered_rate:g}: throughput={self.throughput:.3f} pkt/slot, "
             f"delay={self.mean_delay:.1f}/{self.p99_delay:.0f} slots (mean/p99), "
             f"backlog={self.backlog_final} ({self.backlog_slope:+.1f}/epoch, {state}), "
             f"overhead={self.overhead_slots:.1f} slots/epoch, "
             f"cache hits={self.cache_hit_rate:.0%}"
         )
+        if not np.isnan(self.blocking_probability):
+            text += (
+                f", blocking={self.blocking_probability:.0%}, "
+                f"goodput={self.admitted_goodput:.3f} pkt/slot, "
+                f"flow p99 delay={self.flow_p99_delay:.0f} slots"
+            )
+        return text
+
+
+def series_slope(series) -> float:
+    """Least-squares slope of a 1-D series (0.0 for degenerate series).
+
+    The single slope implementation behind :func:`backlog_slope` and the
+    admission controllers' sliding windows.  Degenerate inputs (fewer than
+    two points, or a constant series) return exactly 0.0 — and the fit
+    runs through :class:`numpy.polynomial.Polynomial`, whose scaled-domain
+    least squares stays well conditioned where a raw ``np.polyfit`` on a
+    flat tail emits ``RankWarning`` noise.  ``.convert()`` maps the fit
+    back from its scaled domain — and trims an exactly-zero linear term
+    (e.g. a symmetric series like [3, 0, 3]), leaving a 1-coefficient
+    constant: slope 0.
+    """
+    tail = np.asarray(series, dtype=float)
+    if tail.size < 2 or np.all(tail == tail[0]):
+        return 0.0
+    x = np.arange(tail.size, dtype=float)
+    coef = np.polynomial.Polynomial.fit(x, tail, 1).convert().coef
+    return float(coef[1]) if coef.size > 1 else 0.0
 
 
 def backlog_slope(trace: TrafficTrace, tail_fraction: float = 0.5) -> float:
-    """Least-squares slope (packets/epoch) of the trailing backlog series.
-
-    Degenerate tails (fewer than two points, or a constant series) return
-    exactly 0.0 — and the fit runs through
-    :class:`numpy.polynomial.Polynomial`, whose scaled-domain least squares
-    stays well conditioned where a raw ``np.polyfit`` on a flat tail emits
-    ``RankWarning`` noise.
-    """
+    """Least-squares slope (packets/epoch) of the trailing backlog series."""
     series = trace.backlog_series()
     if series.size < 2:
         return 0.0
     start = int(series.size * (1.0 - tail_fraction))
-    tail = series[start:].astype(float)
+    tail = series[start:]
     if tail.size < 2:
-        tail = series.astype(float)
-    if np.all(tail == tail[0]):
-        return 0.0
-    x = np.arange(tail.size, dtype=float)
-    line = np.polynomial.Polynomial.fit(x, tail, 1)
-    # .convert() maps the fit back from its scaled domain to packet/epoch
-    # coordinates — and trims an exactly-zero linear term (e.g. a symmetric
-    # tail like [3, 0, 3]), leaving a 1-coefficient constant: slope 0.
-    coef = line.convert().coef
-    return float(coef[1]) if coef.size > 1 else 0.0
+        tail = series
+    return series_slope(tail)
 
 
 def stability_margin(trace: TrafficTrace, tolerance: float = STABILITY_TOLERANCE) -> float:
@@ -170,16 +188,37 @@ def summarize_trace(
     trace: TrafficTrace,
     offered_rate: float,
     tolerance: float = STABILITY_TOLERANCE,
+    session=None,
 ) -> StabilityMetrics:
-    """Collapse a trace into one stability-region data point."""
+    """Collapse a trace into one stability-region data point.
+
+    ``session`` optionally attaches a
+    :class:`~repro.traffic.flows.FlowWorkload` whose run produced the
+    trace; its SLA accounting (blocking probability, admitted goodput,
+    per-flow p99 delay) then populates the metrics' session fields.
+    """
     slots = max(trace.total_slots, 1)
     epochs = max(trace.n_epochs_run, 1)
     delays = (
         trace.queues.delay_array() if trace.queues is not None else np.empty(0, np.int64)
     )
+    throughput = trace.delivered_total / slots
+    blocking = float("nan")
+    goodput = float("nan")
+    flow_p99 = float("nan")
+    if session is not None:
+        from repro.traffic.admission import flow_delay_percentile
+
+        blocking = session.blocking_probability
+        # Only admitted flows inject packets, so the trace's throughput
+        # *is* the admitted goodput (the two diverge only if unadmitted
+        # traffic ever reaches the queues).
+        goodput = throughput
+        if trace.queues is not None:
+            flow_p99 = flow_delay_percentile(session, trace.queues)
     return StabilityMetrics(
         offered_rate=float(offered_rate),
-        throughput=trace.delivered_total / slots,
+        throughput=throughput,
         mean_delay=float(delays.mean()) if delays.size else float("nan"),
         p99_delay=float(np.percentile(delays, 99)) if delays.size else float("nan"),
         backlog_final=trace.records[-1].backlog_end if trace.records else 0,
@@ -187,6 +226,9 @@ def summarize_trace(
         stable=is_stable(trace, tolerance),
         overhead_slots=trace.overhead_slots_total / epochs,
         cache_hit_rate=trace.cache_hit_rate,
+        blocking_probability=blocking,
+        admitted_goodput=goodput,
+        flow_p99_delay=flow_p99,
     )
 
 

@@ -1,0 +1,240 @@
+"""Integration tests for the flow-session admission layer.
+
+The load-bearing guarantee is differential: a flow workload under the
+``none`` controller must reproduce the uncontrolled engine epoch-for-epoch
+— same records, same delays, same backlogs — for every reschedule policy,
+on both the monolithic and the (degenerate 1-shard) sharded engine.  The
+admission layer is an *addition* at the arrival boundary, never a change
+to serving semantics.
+
+Beyond the guard: controllers actually control (a knee tracker caps an
+overload the baseline diverges under; a static cap blocks sessions past
+it), compose with the sharded engine's per-region controllers, and keep
+packet conservation intact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fdd import fdd_on_network
+from repro.experiments.common import PAPER_PROTOCOL
+from repro.routing import build_routing_forest, planned_gateways
+from repro.scheduling.links import forest_link_set
+from repro.topology.network import grid_network
+from repro.traffic import (
+    EpochConfig,
+    FlowConfig,
+    FlowWorkload,
+    KneeTracker,
+    NoAdmission,
+    RegionalControllers,
+    StaticCap,
+    centralized_scheduler,
+    distributed_scheduler,
+    plan_for_network,
+    run_epochs,
+    run_epochs_sharded,
+    sharded_distributed_factory,
+)
+from repro.util.rng import spawn
+
+FUNCTIONAL_FIELDS = (
+    "epoch",
+    "arrivals",
+    "served",
+    "delivered",
+    "backlog_end",
+    "demand_scheduled",
+    "schedule_length",
+    "overhead_slots",
+    "cache_hit",
+    "patched",
+    "drift",
+)
+
+
+def _functional(record):
+    return tuple(getattr(record, f) for f in FUNCTIONAL_FIELDS)
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    network = grid_network(8, 8, density_per_km2=1000.0)
+    gateways = planned_gateways(8, 8, 4)
+    forest = build_routing_forest(network.comm_adj, gateways, rng=spawn(11, "f"))
+    links = forest_link_set(forest, np.zeros(network.n_nodes, dtype=np.int64))
+    return network, gateways, links
+
+
+def _workload(links, rate=0.012, controller=None, seed_key="wl"):
+    cfg = FlowConfig.for_offered_rate(rate, links.n_links, 200)
+    return FlowWorkload(links, cfg, controller=controller, seed=spawn(11, seed_key))
+
+
+@pytest.mark.parametrize("policy", ["always", "drift-threshold", "patch"])
+def test_none_controller_reproduces_uncontrolled_run_epochs(mesh, policy):
+    """The differential guard: controller="none" ≡ today's run_epochs,
+    epoch-for-epoch, for every reschedule policy."""
+    network, gateways, links = mesh
+    config = EpochConfig(
+        epoch_slots=200, n_epochs=5, divergence_factor=4.0, reschedule_policy=policy
+    )
+
+    def scheduler():
+        return distributed_scheduler(
+            network, fdd_on_network, config=PAPER_PROTOCOL, seed=11
+        )
+
+    bare = run_epochs(
+        links, _workload(links), scheduler(), config, model=network.model
+    )
+    controlled_wl = _workload(links, controller=NoAdmission())
+    controlled = run_epochs(
+        links,
+        controlled_wl,
+        scheduler(),
+        config,
+        model=network.model,
+        on_epoch=controlled_wl.observe,
+    )
+
+    assert [_functional(r) for r in controlled.records] == [
+        _functional(r) for r in bare.records
+    ]
+    assert controlled.diverged == bare.diverged
+    assert np.array_equal(
+        controlled.queues.delay_array(), bare.queues.delay_array()
+    )
+    assert np.array_equal(controlled.queues.backlog, bare.queues.backlog)
+    assert controlled_wl.sessions_blocked == 0
+    assert controlled_wl.packets_throttled == 0
+    controlled.queues.check_conservation()
+
+
+def test_none_controller_reproduces_uncontrolled_sharded_engine(mesh):
+    """Same guard on the sharded engine (multi-shard plan, live FDD regions):
+    the admission hook must not perturb the engine it observes."""
+    network, gateways, links = mesh
+    config = EpochConfig(epoch_slots=200, n_epochs=4, divergence_factor=4.0)
+    plan = plan_for_network(links, network, n_shards=4, interference_radius_m=80.0)
+
+    def factory():
+        return sharded_distributed_factory(
+            network, fdd_on_network, config=PAPER_PROTOCOL, seed=11
+        )
+
+    bare = run_epochs_sharded(
+        plan, _workload(links), factory(), network.model, config
+    )
+    wl = _workload(links, controller=NoAdmission())
+    controlled = run_epochs_sharded(
+        plan, wl, factory(), network.model, config, on_epoch=wl.observe
+    )
+
+    assert [_functional(r) for r in controlled.records] == [
+        _functional(r) for r in bare.records
+    ]
+    assert np.array_equal(controlled.queues.backlog, bare.queues.backlog)
+    assert wl.sessions_blocked == 0
+
+
+def test_knee_tracker_stabilizes_an_overload_the_baseline_diverges_under(mesh):
+    """3x-knee session load under the free GreedyPhysical oracle: the
+    uncontrolled loop grows its backlog without bound, the knee tracker
+    caps the admitted rate, blocks sessions, and ends with bounded backlog."""
+    from repro.traffic import is_stable
+
+    network, gateways, links = mesh
+    config = EpochConfig(epoch_slots=200, n_epochs=12, divergence_factor=8.0)
+    overload = 3.0 * 0.019
+
+    bare_wl = _workload(links, rate=overload)
+    bare = run_epochs(
+        links, bare_wl, centralized_scheduler(network.model), config,
+        on_epoch=bare_wl.observe,
+    )
+    tracked_wl = _workload(links, rate=overload, controller=KneeTracker())
+    tracked = run_epochs(
+        links,
+        tracked_wl,
+        centralized_scheduler(network.model),
+        config,
+        on_epoch=tracked_wl.observe,
+    )
+
+    assert not is_stable(bare), "uncontrolled 3x overload should be unstable"
+    assert is_stable(tracked), "the knee tracker should hold backlog bounded"
+    assert not tracked.diverged
+    assert tracked_wl.sessions_blocked > 0
+    assert tracked_wl.blocking_probability > 0.2
+    assert np.isfinite(tracked_wl.controller.cap)
+    assert (
+        tracked.records[-1].backlog_end < bare.records[-1].backlog_end
+    ), "the tracker should end with less backlog than the diverged baseline"
+    tracked.queues.check_conservation()
+
+
+@pytest.mark.parametrize("policy", ["drift-threshold", "patch"])
+def test_active_controller_composes_with_schedule_caching(mesh, policy):
+    """A knee tracker cutting its cap changes the demand vector sharply
+    between epochs — exactly the drift the incremental cache reasons
+    about.  The composed run must stay conservative, still shed load, and
+    keep the cache accounting coherent (hits/patches only ever answer
+    real scheduling requests)."""
+    network, gateways, links = mesh
+    config = EpochConfig(
+        epoch_slots=200,
+        n_epochs=12,
+        divergence_factor=8.0,
+        reschedule_policy=policy,
+    )
+    wl = _workload(links, rate=3.0 * 0.019, controller=KneeTracker(window=3))
+    trace = run_epochs(
+        links,
+        wl,
+        centralized_scheduler(network.model),
+        config,
+        model=network.model,
+        on_epoch=wl.observe,
+    )
+    assert trace.n_epochs_run == 12
+    assert wl.sessions_blocked > 0, "3x overload should still be shed"
+    assert np.isfinite(wl.controller.cap)
+    requests = sum(1 for r in trace.records if r.demand_scheduled > 0)
+    assert trace.cache_hits + trace.patched_epochs <= requests
+    for record in trace.records:
+        assert not (record.cache_hit and record.demand_scheduled == 0)
+    trace.queues.check_conservation()
+
+
+def test_static_cap_blocks_sessions_past_the_cap(mesh):
+    network, gateways, links = mesh
+    config = EpochConfig(epoch_slots=200, n_epochs=8)
+    wl = _workload(links, rate=0.04, controller=StaticCap(cap=0.5))
+    run_epochs(
+        links, wl, centralized_scheduler(network.model), config, on_epoch=wl.observe
+    )
+    assert wl.sessions_blocked > 0
+    # The active admitted aggregate never exceeds the cap.
+    assert wl.admitted_rate() <= 0.5 + 1e-9
+
+
+def test_regional_controllers_compose_with_the_sharded_engine(mesh):
+    """Per-region knee trackers on a 4-shard plan: the composed run admits
+    in every region, blocks under overload, and conserves packets."""
+    network, gateways, links = mesh
+    config = EpochConfig(epoch_slots=200, n_epochs=10, divergence_factor=8.0)
+    plan = plan_for_network(links, network, n_shards=4, interference_radius_m=80.0)
+    controller = RegionalControllers(plan, lambda shard: KneeTracker(window=3))
+    wl = _workload(links, rate=3.0 * 0.019, controller=controller)
+    factory = sharded_distributed_factory(
+        network, fdd_on_network, config=PAPER_PROTOCOL, seed=11
+    )
+    trace = run_epochs_sharded(
+        plan, wl, factory, network.model, config, on_epoch=wl.observe
+    )
+    assert trace.n_epochs_run > 0
+    assert wl.sessions_blocked > 0, "regional caps should reject sessions at 3x"
+    caps = [c.cap for c in controller.regional]
+    assert any(np.isfinite(c) for c in caps), "some region should have capped"
+    trace.queues.check_conservation()

@@ -225,6 +225,35 @@ class TestHeavyTraffic:
         # top of the sweep.
         assert all(value == "0.004" for value in knees.values())
 
+    def test_admission_table_shape_and_sla_columns(self):
+        from dataclasses import replace
+
+        from repro.experiments.admission import admission_experiment
+
+        tiny = replace(
+            TINY,
+            traffic_epoch_slots=80,
+            admission_controllers=("none", "static-cap"),
+            admission_load_factors=(1.0, 2.0),
+            admission_epochs=3,
+            admission_knee_rate=0.01,
+        )
+        table = admission_experiment(tiny)
+        # 2 controllers x 2 offered loads.
+        assert table.n_rows == 4
+        rows = {(r[0], r[1]): r for r in table._rows}
+        assert set(rows) == {
+            ("none", "1x"),
+            ("none", "2x"),
+            ("static-cap", "1x"),
+            ("static-cap", "2x"),
+        }
+        # The uncontrolled baseline never blocks; the cap blocks under
+        # overload and reports it in the SLA column.
+        assert rows[("none", "2x")][4] == "0%"
+        assert rows[("static-cap", "2x")][4].endswith("%")
+        assert float(rows[("static-cap", "2x")][4].rstrip("%")) > 0
+
     def test_incremental_table_shape_and_policy_axis(self):
         from dataclasses import replace
 

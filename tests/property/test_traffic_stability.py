@@ -145,3 +145,30 @@ class TestStabilityClassifiers:
     def test_knee_none_when_lowest_rate_unstable(self):
         points = [summarize_trace(_trace([200, 400, 600, 800]), 0.002)]
         assert stability_knee(points) is None
+
+    def test_knee_is_top_of_sweep_when_every_point_is_stable(self):
+        # No unstable point was found: the largest tested rate is returned
+        # as a lower bound on the true knee.
+        points = [
+            summarize_trace(_trace([0, 0, 0, 0]), rate)
+            for rate in (0.002, 0.004, 0.008)
+        ]
+        assert stability_knee(points) == 0.008
+
+    def test_find_knee_all_stable_and_first_unstable_edges(self):
+        from repro.traffic import find_knee
+
+        def run_at(rate, seed_index=0):
+            if rate >= 0.01:  # every swept point sits below this
+                return _trace([200, 400, 600, 800])
+            return _trace([0, 0, 0, 0])
+
+        # Every swept point stable -> the knee is the top of the sweep.
+        knee, points = find_knee((0.002, 0.004), run_at)
+        assert knee == 0.004
+        assert [p.stable for p in points] == [True, True]
+
+        # The first swept point already unstable -> no knee at all.
+        knee, points = find_knee((0.01, 0.02), run_at)
+        assert knee is None
+        assert not points[0].stable

@@ -101,6 +101,23 @@ class TestTables:
         assert out.startswith("s:")
         assert "(1, 3.00)" in out
 
+    def test_redacted_masks_volatile_columns_only(self):
+        table = TextTable(["k", "wall (s)"], title="T")
+        table.add_row("a", 1.23)
+        table.add_row("b", 4.56)
+        masked = table.redacted(("wall (s)",))
+        text = masked.render()
+        assert "1.23" not in text and "4.56" not in text
+        assert "a" in text and "b" in text and "~" in text
+        # The original is untouched, and rendering stays deterministic.
+        assert "1.23" in table.render()
+        assert masked.render() == table.redacted(("wall (s)",)).render()
+
+    def test_redacted_rejects_unknown_columns(self):
+        table = TextTable(["k", "v"])
+        with pytest.raises(ValueError, match="unknown columns"):
+            table.redacted(("wall (s)",))
+
 
 class TestRng:
     def test_spawn_deterministic(self):

@@ -135,3 +135,37 @@ class TestGatewaysAndValidation:
     def test_pareto_alpha_validated(self):
         with pytest.raises(ValueError):
             ParetoOnOff(N, 0.1, alpha=1.0)
+
+
+class TestZeroRateEdges:
+    """scaled(0.0) and zero-rate processes must be silent, not crash."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [ConstantBitRate, PoissonArrivals, DiurnalLoad, ParetoOnOff],
+        ids=lambda f: f.__name__,
+    )
+    def test_scaled_to_zero_is_silent(self, factory):
+        gen = factory(N, 0.1, gateways=GWS, seed=3).scaled(0.0)
+        assert gen.mean_rate == 0.0
+        for epoch in range(4):
+            assert int(gen.arrivals(epoch, 50).sum()) == 0
+
+    def test_zero_rate_pareto_terminates_and_stays_silent(self):
+        # The renewal loop must still walk sojourns to the epoch boundary
+        # (peak_rates are all zero) without spinning or emitting.
+        gen = ParetoOnOff(N, 0.0, gateways=GWS, seed=3)
+        for epoch in range(5):
+            assert int(gen.arrivals(epoch, 200).sum()) == 0
+
+    def test_zero_rate_diurnal_is_silent_at_peak(self):
+        gen = DiurnalLoad(N, 0.0, gateways=GWS, seed=3, amplitude=1.0)
+        for epoch in range(5):
+            assert int(gen.arrivals(epoch, 500).sum()) == 0
+
+    def test_scaled_zero_then_rescaled_recovers_nothing(self):
+        # scaled() must not mutate the original generator's rates.
+        base = PoissonArrivals(N, 0.2, gateways=GWS, seed=3)
+        zero = base.scaled(0.0)
+        assert base.mean_rate == pytest.approx(0.2)
+        assert zero.scaled(5.0).mean_rate == 0.0  # 0 * 5 is still 0
