@@ -74,6 +74,8 @@ from repro.core import (
     run_afdd,
     run_arbitrary_link_set,
     TimingModel,
+    ControlPlaneModel,
+    ControlLedger,
 )
 from repro.core.pdd import pdd_on_network
 from repro.core.fdd import fdd_on_network
@@ -172,6 +174,8 @@ __all__ = [
     "fdd_on_network",
     "afdd_on_network",
     "TimingModel",
+    "ControlPlaneModel",
+    "ControlLedger",
     # traffic
     "ConstantBitRate",
     "PoissonArrivals",

@@ -26,6 +26,13 @@ from repro.core.pdd import run_pdd
 from repro.core.fdd import run_fdd
 from repro.core.afdd import run_afdd
 from repro.core.timing import TimingModel
+from repro.core.controlplane import (
+    CONTROL_LAYERS,
+    MESSAGE_CLASSES,
+    ControlLedger,
+    ControlPlaneModel,
+    forest_depths,
+)
 from repro.core.arbitrary import ArbitraryResult, run_arbitrary_link_set
 from repro.core.skew import (
     SkewDegradation,
@@ -49,6 +56,11 @@ __all__ = [
     "run_fdd",
     "run_afdd",
     "TimingModel",
+    "CONTROL_LAYERS",
+    "MESSAGE_CLASSES",
+    "ControlLedger",
+    "ControlPlaneModel",
+    "forest_depths",
     "ArbitraryResult",
     "run_arbitrary_link_set",
     "SkewDegradation",

@@ -97,6 +97,18 @@ class TimingModel:
         """Duration of a bare GlobalSync barrier."""
         return self.slot_overhead_s + self.guard_s
 
+    def message_s(self, payload_bytes: float) -> float:
+        """Air time of one in-band control message of ``payload_bytes`` bytes.
+
+        Control traffic (patch deltas, backlog reports, reconciliation
+        rounds, session signaling — see :mod:`repro.core.controlplane`)
+        rides the same synchronized air as the protocol steps, so a message
+        costs exactly one step of its payload size: turnaround + payload at
+        the PHY rate + the skew guard.
+        """
+        check_positive("payload_bytes", float(payload_bytes))
+        return self._step(payload_bytes)
+
     def execution_time(self, tally: StepTally) -> float:
         """Wall-clock seconds for a protocol execution's step tally."""
         return (

@@ -95,6 +95,17 @@ class ExperimentProfile:
     admission_cbr_fraction: float = 0.3
     admission_elastic_rate: float = 0.08
     admission_max_size_factor: float = 10.0
+    #: E11 in-band control-plane pricing: payload bytes per message class
+    #: (0 disables a class — the free idealization), the E8-revisit arrival
+    #: rate and policies, the E9-revisit sharded rate, and the E10-revisit
+    #: overload factor.  See repro.core.controlplane and DESIGN.md §10.
+    controlplane_patch_bytes: float = 8.0
+    controlplane_report_bytes: float = 12.0
+    controlplane_reconcile_bytes: float = 10.0
+    controlplane_signal_bytes: float = 6.0
+    controlplane_lambda: float = 0.0145
+    controlplane_policies: tuple[str, ...] = ("always", "patch")
+    controlplane_admission_factor: float = 2.0
     seed: int = DEFAULT_SEED
 
 
@@ -119,6 +130,7 @@ QUICK = ExperimentProfile(
     admission_controllers=("none", "knee-tracker"),
     admission_load_factors=(1.0, 2.0),
     admission_epochs=8,
+    controlplane_lambda=0.006,
 )
 
 #: The paper's protocol constants (Section VI-A).

@@ -22,6 +22,7 @@ from repro.experiments import (
     ablations,
     admission,
     approximation,
+    controlplane,
     exec_time,
     heavy_traffic,
     mote_detection,
@@ -63,6 +64,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentProfile], TextTable]]] = {
     "admission": (
         "E10 — flow-session admission control past the stability knee",
         admission.admission_experiment,
+    ),
+    "controlplane": (
+        "E11 — in-band control-plane pricing across the E8/E9/E10 headlines",
+        controlplane.controlplane_experiment,
     ),
     "mote-error": (
         "E1/Fig4 — SCREAM detection error vs SCREAM size (mote testbed)",

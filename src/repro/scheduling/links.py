@@ -75,6 +75,22 @@ class LinkSet:
             mapping[int(h)] = k
         return mapping
 
+    def next_links(self) -> np.ndarray:
+        """Per-link index of the next link up the forest, -1 at gateways.
+
+        ``next_links()[k]`` is the link whose head is link ``k``'s tail —
+        the unique relay hop toward the gateway — or ``-1`` when the tail
+        is a gateway.  Only defined for forest link sets (delegates the
+        contract check to :meth:`link_of_head`).  The single next-hop
+        derivation shared by queue relaying
+        (:class:`~repro.traffic.queues.LinkQueues`) and control-plane
+        depth pricing (:func:`~repro.core.controlplane.forest_depths`).
+        """
+        by_head = self.link_of_head
+        return np.array(
+            [by_head.get(int(t), -1) for t in self.tails], dtype=np.intp
+        )
+
     def subset(self, indices: np.ndarray) -> "LinkSet":
         """A new LinkSet containing only the given link indices."""
         idx = np.asarray(indices, dtype=np.intp)

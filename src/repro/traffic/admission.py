@@ -442,11 +442,17 @@ class RegionalControllers(AdmissionController):
     by the same; regional observation slices the global feedback down to
     the region: its links' backlog, the emissions the workload booked at
     its sources (the regional arrivals — the controller's own admissions,
-    not an oracle), and the global record for everything else.
+    not an oracle), the packets served on its own links (differenced from
+    the queues' per-link served counters), and the deliveries of the
+    sessions it admitted, counted exactly from the queues' source-tagged
+    delivery log — each delivery is attributed to the region whose
+    controller admitted the injecting flow.  Served and delivered were
+    previously *proxied* by the region's emission share; the tagged logs
+    make them observables a regional gateway really has.
 
-    The regional :meth:`observe` hands sub-controllers a
-    :class:`RegionalView` of the record rather than the record itself, so
-    cap logic written against global signals works unchanged per region.
+    The regional :meth:`observe` hands sub-controllers a regional view of
+    the record rather than the record itself, so cap logic written against
+    global signals works unchanged per region.
     """
 
     name = "regional"
@@ -469,12 +475,24 @@ class RegionalControllers(AdmissionController):
         self.regional = [self.factory(shard) for shard in self.plan.shards]
         for controller in self.regional:
             controller.reset()
+        # Cursors into the queues' cumulative logs, so each observation
+        # attributes only the epoch's *new* served/delivered work.
+        self._delivered_seen = 0
+        self._served_seen = np.zeros(len(self.regional), dtype=np.int64)
 
     def fresh(self) -> "RegionalControllers":
         return RegionalControllers(self.plan, self.factory)
 
     def _region_of(self, flow: Flow) -> int:
         return int(self._shard_of_link[flow.route[0]])
+
+    def region_of_flow(self, flow: Flow) -> int:
+        """The region whose controller owns ``flow`` (by its source link).
+
+        Public so :class:`~repro.traffic.flows.FlowWorkload` can key its
+        incremental per-region admitted-rate aggregates on it.
+        """
+        return self._region_of(flow)
 
     def admit(self, flow: Flow, session: FlowWorkload) -> bool:
         region = self._region_of(flow)
@@ -488,26 +506,42 @@ class RegionalControllers(AdmissionController):
 
     def observe(self, record, queues: LinkQueues, session: FlowWorkload) -> None:
         backlog = queues.backlog
-        emitted = np.zeros(len(self.regional), dtype=np.int64)
+        n_regions = len(self.regional)
+        emitted = np.zeros(n_regions, dtype=np.int64)
         for fid, node, count in session.last_emissions:
             k = self._by_head.get(int(node))
             if k is not None:
                 emitted[self._shard_of_link[k]] += count
-        total_emitted = max(int(emitted.sum()), 1)
+        # Exact delivered attribution: the queues tag every delivery with
+        # its entry link, so the new tail of the delivery log splits by the
+        # region that admitted the injecting flow (no emission-share proxy).
+        new_sources = queues.sources[self._delivered_seen :]
+        self._delivered_seen = len(queues.sources)
+        if new_sources:
+            delivered = np.bincount(
+                self._shard_of_link[np.asarray(new_sources, dtype=np.intp)],
+                minlength=n_regions,
+            )
+        else:
+            delivered = np.zeros(n_regions, dtype=np.int64)
+        # Exact served attribution: difference the per-link served counters
+        # over each region's own links.
+        served_cum = np.array(
+            [
+                int(queues.served_by_link[shard.link_indices].sum())
+                for shard in self.plan.shards
+            ],
+            dtype=np.int64,
+        )
+        served = served_cum - self._served_seen
+        self._served_seen = served_cum
         for shard, controller in zip(self.plan.shards, self.regional):
-            regional_backlog = int(backlog[shard.link_indices].sum())
-            share = int(emitted[shard.index]) / total_emitted
             regional_record = replace(
                 record,
                 arrivals=int(emitted[shard.index]),
-                backlog_end=regional_backlog,
-                # Served/delivered packets are not attributable per region
-                # from the global trace; the region's share of this
-                # epoch's emissions is the observable proxy (conservation
-                # equates the two in steady state; DESIGN.md §9 records
-                # the idealization).
-                served=int(round(record.served * share)),
-                delivered=int(round(record.delivered * share)),
+                backlog_end=int(backlog[shard.link_indices].sum()),
+                served=int(served[shard.index]),
+                delivered=int(delivered[shard.index]),
             )
             controller.observe(
                 regional_record, queues, _RegionalSession(session, self, shard.index)
@@ -520,7 +554,10 @@ class _RegionalSession:
     Exposes the slice of the session API cap controllers consult —
     :meth:`admitted_rate` restricted to flows sourced in the region, plus
     the epoch length — so :class:`_CapController` logic runs unchanged
-    with regional denominators.
+    with regional denominators.  Served from the workload's incremental
+    per-(region, class) aggregates (keyed on
+    :meth:`RegionalControllers.region_of_flow`), so a regional cap check
+    is O(1) instead of a scan of the global active-flow list.
     """
 
     def __init__(self, session: FlowWorkload, parent: RegionalControllers, region: int):
@@ -537,14 +574,7 @@ class _RegionalSession:
         return self._session._next_epoch
 
     def admitted_rate(self, klass: str | None = None) -> float:
-        return float(
-            sum(
-                f.rate
-                for f in self._session.active
-                if self._parent._region_of(f) == self._region
-                and (klass is None or f.klass == klass)
-            )
-        )
+        return self._session.admitted_rate_in_region(self._region, klass)
 
 
 def make_controller(name: str, **knobs) -> AdmissionController:

@@ -39,6 +39,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.config import ProtocolConfig
+from repro.core.controlplane import ControlLedger, ControlPlaneModel, forest_depths
 from repro.core.timing import TimingModel
 from repro.phy.interference import PhysicalInterferenceModel
 from repro.scheduling.greedy_physical import greedy_physical
@@ -164,6 +165,12 @@ class EpochRecord:
     cache_hit: bool = False  # schedule reused from cache, zero overhead
     patched: bool = False  # schedule repaired in place, zero overhead
     drift: float = 0.0  # snapshot drift vs the cached baseline (0 when uncached)
+    # In-band control accounting (repro.core.controlplane): the slice of
+    # overhead_slots attributable to priced control messages, and the
+    # messages booked to this epoch.  Both stay 0 on unpriced runs, so
+    # records compare epoch-for-epoch across priced-at-zero and bare runs.
+    control_slots: int = 0
+    control_messages: int = 0
     # Shard-aware accounting (repro.traffic.sharded); both stay at their
     # defaults on monolithic runs, so records compare epoch-for-epoch across
     # the two engines.
@@ -190,6 +197,9 @@ class TrafficTrace:
     queues: LinkQueues | None = None
     scheduling_seconds: float = 0.0
     critical_path_seconds: float = 0.0
+    #: In-band control-plane account of the run, or ``None`` when the
+    #: engine ran unpriced (no ``control=`` model given).
+    ledger: ControlLedger | None = None
 
     @property
     def n_epochs_run(self) -> int:
@@ -211,6 +221,16 @@ class TrafficTrace:
     def overhead_slots_total(self) -> int:
         """Protocol overhead paid across the run, in data slots."""
         return sum(r.overhead_slots for r in self.records)
+
+    @property
+    def control_slots_total(self) -> int:
+        """Data slots of overhead attributable to priced control messages."""
+        return sum(r.control_slots for r in self.records)
+
+    @property
+    def control_messages_total(self) -> int:
+        """Control messages booked across the run (counted even when free)."""
+        return sum(r.control_messages for r in self.records)
 
     @property
     def cache_hits(self) -> int:
@@ -265,6 +285,31 @@ def overhead_to_slots(overhead_seconds: float, config: EpochConfig) -> int:
     return min(math.ceil(overhead_seconds / config.slot_seconds), config.epoch_slots)
 
 
+def priced_overhead_slots(
+    base_seconds: float,
+    ledger: ControlLedger | None,
+    epoch: int,
+    config: EpochConfig,
+) -> tuple[int, int]:
+    """One epoch's ``(overhead_slots, control_slots)`` under in-band pricing.
+
+    The epoch's control messages (whatever any layer booked to ``epoch`` in
+    the ledger) serialize on the same air as the scheduler's own execution,
+    so their seconds add to ``base_seconds`` before the slot conversion;
+    ``control_slots`` is the resulting increment over the unpriced charge.
+    Shared by the monolithic and sharded loops.  With no ledger — or a
+    ledger whose model prices every class at zero — the charge is exactly
+    the pre-pricing ``overhead_to_slots(base_seconds)``: a zero charge adds
+    ``0.0`` seconds, which is the bit-identity behind the differential
+    tests.
+    """
+    base_slots = overhead_to_slots(base_seconds, config)
+    if ledger is None:
+        return base_slots, 0
+    total = overhead_to_slots(base_seconds + ledger.seconds_for(epoch), config)
+    return total, total - base_slots
+
+
 def trace_diverged(trace: TrafficTrace, config: EpochConfig) -> bool:
     """Has the end-of-epoch backlog crossed the divergence guard?
 
@@ -314,6 +359,7 @@ def run_epochs(
     config: EpochConfig | None = None,
     model: PhysicalInterferenceModel | None = None,
     on_epoch: Callable[[EpochRecord, LinkQueues], None] | None = None,
+    control: ControlPlaneModel | None = None,
 ) -> TrafficTrace:
     """Run the closed arrival/reschedule/serve loop; return its trace.
 
@@ -328,12 +374,23 @@ def run_epochs(
     every epoch's record is appended, with the record and the live queues.
     Admission controllers (:mod:`repro.traffic.admission`) hang off it —
     wire ``on_epoch=workload.observe`` — and it must not mutate the queues.
+
+    ``control`` opts the run into in-band control-plane pricing
+    (:mod:`repro.core.controlplane`): a :class:`ControlLedger` is opened on
+    the trace, the schedule cache's patch distribution is priced along the
+    routing forest, and a session workload with a ``bind_control`` hook
+    (:class:`~repro.traffic.flows.FlowWorkload`) books its signaling and
+    observable-collection messages into the same ledger.  Each epoch's
+    booked control seconds ride the epoch's overhead
+    (:func:`priced_overhead_slots`).  With all prices zero the run is
+    bit-identical to ``control=None``.
     """
     # Imported here, not at module top: incremental.py imports EpochSchedule
     # from this module.
     from repro.traffic.incremental import ScheduleCache
 
     cfg = config or EpochConfig()
+    ledger = ControlLedger(control) if control is not None else None
     cache = scheduler if isinstance(scheduler, ScheduleCache) else None
     if cache is None and cfg.reschedule_policy != "always":
         cache = ScheduleCache(
@@ -345,8 +402,16 @@ def run_epochs(
             epoch_slots=cfg.epoch_slots,
         )
         scheduler = cache
+    # (Re)bind unconditionally: this run's control model — priced, free, or
+    # absent — governs the run, so a cache or workload reused from an
+    # earlier run must not keep charging that run's ledger.
+    if cache is not None:
+        cache.bind_control(ledger, forest_depths(links) if ledger else None)
+    bind = getattr(generator, "bind_control", None)
+    if bind is not None:
+        bind(ledger)
     queues = LinkQueues(links)
-    trace = TrafficTrace(config=cfg, queues=queues)
+    trace = TrafficTrace(config=cfg, queues=queues, ledger=ledger)
     T = cfg.epoch_slots
 
     for epoch in range(cfg.n_epochs):
@@ -359,6 +424,7 @@ def run_epochs(
         served = 0
         delivered_before = queues.delivered_total
         overhead_slots = 0
+        control_slots = 0
         schedule_length = 0
         cache_hit = False
         patched = False
@@ -381,13 +447,22 @@ def run_epochs(
                 patched = decision.patched
                 drift = decision.drift if math.isfinite(decision.drift) else 0.0
             schedule_length = planned.schedule.length
-            overhead_slots = overhead_to_slots(planned.overhead_seconds, cfg)
+            overhead_slots, control_slots = priced_overhead_slots(
+                planned.overhead_seconds, ledger, epoch, cfg
+            )
             # Only the first T - overhead slots can ever play (the cyclic
             # index stays below the window when the schedule is longer), so
             # don't materialize arrays for the unplayable tail.
             playable = T - overhead_slots
             slot_links = [s.as_array() for s in planned.schedule.slots[:playable]]
             served = play_schedule(queues, slot_links, start, T, overhead_slots)
+        elif ledger is not None:
+            # No demand, hence no scheduler run — but control messages
+            # booked to this epoch (e.g. session signaling into an idle
+            # mesh) still consumed air.
+            overhead_slots, control_slots = priced_overhead_slots(
+                0.0, ledger, epoch, cfg
+            )
 
         trace.records.append(
             EpochRecord(
@@ -402,6 +477,10 @@ def run_epochs(
                 cache_hit=cache_hit,
                 patched=patched,
                 drift=drift,
+                control_slots=control_slots,
+                control_messages=(
+                    ledger.messages_for(epoch) if ledger is not None else 0
+                ),
             )
         )
         if on_epoch is not None:

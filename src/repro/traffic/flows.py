@@ -155,6 +155,20 @@ class FlowConfig:
         Token-bucket depth, in slots' worth of tokens at the flow's rate.
     max_size_factor:
         Truncation of the size distribution, as a multiple of ``mean_size``.
+    retry_attempts:
+        How many times a blocked session re-offers itself before giving up
+        for good (0, the default, is the historical leave-forever
+        behaviour).  A session only counts toward ``sessions_blocked`` — and
+        hence the blocking probability — once every attempt is exhausted.
+    retry_backoff:
+        Geometric back-off base: the ``k``-th retry (k = 1, 2, ...) waits
+        ``ceil(retry_base_epochs * retry_backoff**(k - 1))`` epochs after
+        the ``k``-th rejection — the first retry waits the base delay, and
+        each further rejection multiplies it — so repeatedly rejected
+        sessions thin out instead of hammering a saturated controller
+        every epoch.
+    retry_base_epochs:
+        Epochs before the first retry.
     """
 
     session_rate: float = 4.0
@@ -165,6 +179,9 @@ class FlowConfig:
     elastic_rate: float = 0.05
     burst_slots: float = 50.0
     max_size_factor: float = 20.0
+    retry_attempts: int = 0
+    retry_backoff: float = 2.0
+    retry_base_epochs: int = 1
 
     def __post_init__(self) -> None:
         if self.session_rate < 0:
@@ -181,6 +198,12 @@ class FlowConfig:
             raise ValueError("burst_slots must be positive")
         if self.max_size_factor < 1.0:
             raise ValueError("max_size_factor must be >= 1")
+        if self.retry_attempts < 0:
+            raise ValueError("retry_attempts must be non-negative")
+        if self.retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1 (delays never shrink)")
+        if self.retry_base_epochs < 1:
+            raise ValueError("retry_base_epochs must be >= 1")
 
     def offered_rate(self, n_sources: int, epoch_slots: int) -> float:
         """Long-run offered load in packets per source node per slot —
@@ -272,15 +295,59 @@ class FlowWorkload(TrafficGenerator):
         super().__init__(n_nodes, 0.0, gateways=None, seed=seed)
         self.links = links
         self.config = config or FlowConfig()
-        if controller is None:
-            from repro.traffic.admission import NoAdmission
+        # Imported lazily: admission.py imports Flow/FlowWorkload from here.
+        from repro.traffic.admission import AdmissionController, NoAdmission
 
+        if controller is None:
             controller = NoAdmission()
         self.controller = controller
+        #: Does this controller actually intervene (override admit or
+        #: throttle)?  Behavior-based, not name-based: signaling air is
+        #: charged exactly when admission decisions are real decisions, so
+        #: a subclass that forgets cosmetic attributes still pays, and pure
+        #: observers (and the pass-through baseline) stay silent.
+        cls = type(controller)
+        self._controller_intervenes = (
+            cls.admit is not AdmissionController.admit
+            or cls.throttle is not AdmissionController.throttle
+        )
         self._sources = sources
         self._routes = {int(s): route_of(links, int(s)) for s in sources}
         self._size_xm = _calibrated_size_minimum(self.config)
+        #: Region classifier for per-region admitted-rate aggregates, bound
+        #: from the controller when it groups flows spatially
+        #: (:meth:`~repro.traffic.admission.RegionalControllers.region_of_flow`).
+        self._region_fn = getattr(controller, "region_of_flow", None)
+        #: Control ledger for in-band signaling/report pricing, attached by
+        #: the engines via :meth:`bind_control` when run with ``control=``.
+        self._ledger = None
         self.reset()
+
+    def bind_control(self, ledger) -> None:
+        """Price this workload's control traffic into ``ledger``.
+
+        Called by the epoch engines when run with a ``control=``
+        :class:`~repro.core.controlplane.ControlPlaneModel`.  Once bound,
+        every session offer (first attempts and retries alike) books one
+        ``signal`` message (the admit/deny exchange), every throttled
+        elastic flow-epoch books one more (the throttle update), and every
+        consumed feedback epoch books the observable-collection ``report``
+        messages — one per backlogged link plus the gateway summary — to
+        the epoch that reads them.  Controllers that never intervene —
+        overriding neither ``admit`` nor ``throttle``, like the
+        pass-through ``none`` baseline — book no signaling: no decisions
+        are made, so no decision messages exist to pay for (pure observers
+        still pay for the observables they consume, via
+        ``needs_feedback``).  The final epoch's reports are booked past the
+        last record (they describe it, nothing consumes them), so they
+        appear in the ledger's totals but in no record — the
+        trace-vs-ledger delta is exactly the unconsumed tail batch.
+
+        The engines (re)bind on every run — ``bind_control(None)`` on
+        unpriced ones — and :meth:`reset` also unbinds, so a rewound or
+        reused workload never keeps charging a previous run's ledger.
+        """
+        self._ledger = ledger
 
     # -- TrafficGenerator surface ------------------------------------------
 
@@ -309,17 +376,37 @@ class FlowWorkload(TrafficGenerator):
         )
 
     def reset(self) -> None:
-        """Rewind to epoch 0: empty flow table, fresh stats and controller."""
+        """Rewind to epoch 0: empty flow table, fresh stats and controller.
+
+        Also unbinds any control ledger — the next run's engine rebinds
+        from its own ``control=`` model.
+        """
+        self._ledger = None
         self._next_epoch = 0
         self._epoch_slots: int | None = None
         self._observed = False
         self._next_fid = 0
-        self.flows: list[Flow] = []  # all sessions ever admitted, by fid
+        # All sessions ever admitted, in admission order (not fid order:
+        # a session admitted on a retry lands after later-drawn fids).
+        self.flows: list[Flow] = []
         self.active: list[Flow] = []
         self.sessions_offered = 0
         self.sessions_blocked = 0
         self.packets_emitted = 0
         self.packets_throttled = 0
+        #: Blocked sessions awaiting their geometric-backoff re-offer:
+        #: ``[due_epoch, attempts_made, flow]``, kept in fid order.
+        self._retries: list[list] = []
+        self.retries_attempted = 0  # re-offers made (excludes first offers)
+        self.retry_admitted = 0  # sessions admitted on a retry
+        #: Incremental admitted-rate aggregates: total, per class, and per
+        #: (region, class) when the controller groups flows spatially.
+        #: Maintained at admission/departure so :meth:`admitted_rate` is
+        #: O(1) instead of rescanning the active-flow list per offered
+        #: session (admit used to be O(new x active)).
+        self._rate_total = 0.0
+        self._rate_by_class: dict[str, float] = {}
+        self._rate_by_region: dict[tuple[int, str], float] = {}
         #: Per-epoch admitted emissions ``(fid, source node, count)`` of the
         #: most recent epoch (regional controllers read it in ``observe``).
         self.last_emissions: list[tuple[int, int, int]] = []
@@ -347,15 +434,22 @@ class FlowWorkload(TrafficGenerator):
 
         # 1. Session arrivals, admission-checked one by one (arrival order
         #    is the tie-break when the remaining cap fits only some).
+        #    Due retries go first — they have been waiting longest — in fid
+        #    order, then this epoch's fresh sessions; neither path consumes
+        #    randomness for retries, so the arrival stream stays a pure
+        #    function of the seed whatever the controller decides.
+        self._signals = 0  # admit/deny + throttle messages booked this epoch
+        due = [entry for entry in self._retries if entry[0] <= epoch]
+        if due:
+            self._retries = [e for e in self._retries if e[0] > epoch]
+            for _due_epoch, attempts, flow in due:
+                self.retries_attempted += 1
+                self._offer(flow, epoch, attempts)
         n_new = int(rng.poisson(cfg.session_rate))
         for _ in range(n_new):
             flow = self._draw_flow(rng, epoch)
             self.sessions_offered += 1
-            if self.controller.admit(flow, self):
-                self.flows.append(flow)
-                self.active.append(flow)
-            else:
-                self.sessions_blocked += 1
+            self._offer(flow, epoch, 0)
 
         # 2. Token-bucket policed emission, throttled per flow.
         counts = np.zeros(self.n_nodes, dtype=np.int64)
@@ -367,6 +461,8 @@ class FlowWorkload(TrafficGenerator):
                 throttle = float(
                     np.clip(self.controller.throttle(flow, self), 0.0, 1.0)
                 )
+                if throttle < 1.0:
+                    self._signals += 1  # the throttle-update message
             # Epoch-granularity token bucket: the bucket refills while it
             # drains, so one epoch's allowance is carried tokens plus the
             # (throttled) fill over the epoch; what is left after emission
@@ -389,10 +485,17 @@ class FlowWorkload(TrafficGenerator):
             self.packets_throttled += withheld
             if flow.remaining == 0:
                 flow.done_epoch = epoch
+                self._book_departure(flow)
             else:
                 still_active.append(flow)
         self.active = still_active
         self.packets_emitted += int(counts.sum())
+        if (
+            self._ledger is not None
+            and self._signals
+            and self._controller_intervenes
+        ):
+            self._ledger.charge(epoch, "admission", "signal", self._signals)
         return counts
 
     def observe(self, record, queues) -> None:
@@ -400,40 +503,131 @@ class FlowWorkload(TrafficGenerator):
 
         Forwards the epoch's record and live queues to the controller — the
         only channel through which controllers see the network (observable
-        signals, never oracle state).
+        signals, never oracle state).  On priced runs the observables cost
+        air: each backlogged link reports, plus the gateway's summary of
+        the record, booked to the epoch that *consumes* them (the next
+        one) for any controller that needs the feedback channel.
         """
         self._observed = True
+        if self._ledger is not None and self.controller.needs_feedback:
+            reports = int((queues.backlog > 0).sum()) + 1
+            self._ledger.charge(record.epoch + 1, "admission", "report", reports)
         self.controller.observe(record, queues, self)
 
     # -- Session-level accounting ------------------------------------------
 
     @property
+    def sessions_pending_retry(self) -> int:
+        """Blocked sessions still holding a scheduled re-offer (neither
+        admitted nor finally blocked yet)."""
+        return len(self._retries)
+
+    @property
     def sessions_admitted(self) -> int:
-        return self.sessions_offered - self.sessions_blocked
+        return (
+            self.sessions_offered
+            - self.sessions_blocked
+            - self.sessions_pending_retry
+        )
 
     @property
     def blocking_probability(self) -> float:
-        """Fraction of offered sessions rejected at arrival (Erlang's B)."""
+        """Fraction of offered sessions finally rejected (Erlang's B).
+
+        With retries enabled a session only counts as blocked once every
+        attempt is exhausted; sessions still awaiting a re-offer count
+        neither way until they resolve (``sessions_pending_retry``).
+        """
         if self.sessions_offered == 0:
             return 0.0
         return self.sessions_blocked / self.sessions_offered
 
     def admitted_rate(self, klass: str | None = None) -> float:
         """Aggregate nominal rate (pkt/slot) of the active admitted flows,
-        optionally restricted to one class — what a cap compares against."""
-        return float(
-            sum(f.rate for f in self.active if klass is None or f.klass == klass)
-        )
+        optionally restricted to one class — what a cap compares against.
+
+        Served from incrementally maintained aggregates (updated at
+        admission and departure), so a controller consulting it per
+        offered session stays O(1) rather than rescanning the active-flow
+        list; clamped at 0 against float round-off from the add/subtract
+        churn.
+        """
+        if klass is None:
+            return max(self._rate_total, 0.0)
+        return max(self._rate_by_class.get(klass, 0.0), 0.0)
+
+    def admitted_rate_in_region(self, region: int, klass: str | None = None) -> float:
+        """Like :meth:`admitted_rate`, restricted to flows the controller's
+        region classifier maps to ``region`` (0.0 when no classifier is
+        bound — a regionless controller has no regional aggregate)."""
+        if self._region_fn is None:
+            return 0.0
+        if klass is None:
+            total = sum(
+                rate
+                for (reg, _k), rate in self._rate_by_region.items()
+                if reg == region
+            )
+            return max(total, 0.0)
+        return max(self._rate_by_region.get((region, klass), 0.0), 0.0)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"FlowWorkload(sessions={self.sessions_offered} offered, "
             f"{self.sessions_blocked} blocked ({self.blocking_probability:.0%}), "
             f"{len(self.active)} active, emitted={self.packets_emitted}, "
-            f"throttled={self.packets_throttled})"
+            f"throttled={self.packets_throttled}"
         )
+        if self.retries_attempted or self.sessions_pending_retry:
+            text += (
+                f", retries={self.retries_attempted} "
+                f"({self.retry_admitted} admitted, "
+                f"{self.sessions_pending_retry} pending)"
+            )
+        return text + ")"
 
     # -- internals ----------------------------------------------------------
+
+    def _offer(self, flow: Flow, epoch: int, attempts_made: int) -> bool:
+        """One admission attempt: admit, or schedule a backoff retry, or
+        give up.  Every attempt is one admit/deny signaling exchange."""
+        self._signals += 1
+        if self.controller.admit(flow, self):
+            self.flows.append(flow)
+            self.active.append(flow)
+            self._book_admit(flow)
+            if attempts_made:
+                self.retry_admitted += 1
+            return True
+        if attempts_made < self.config.retry_attempts:
+            delay = int(
+                np.ceil(
+                    self.config.retry_base_epochs
+                    * self.config.retry_backoff**attempts_made
+                )
+            )
+            self._retries.append([epoch + delay, attempts_made + 1, flow])
+        else:
+            self.sessions_blocked += 1
+        return False
+
+    def _book_admit(self, flow: Flow) -> None:
+        self._rate_total += flow.rate
+        self._rate_by_class[flow.klass] = (
+            self._rate_by_class.get(flow.klass, 0.0) + flow.rate
+        )
+        if self._region_fn is not None:
+            key = (int(self._region_fn(flow)), flow.klass)
+            self._rate_by_region[key] = self._rate_by_region.get(key, 0.0) + flow.rate
+
+    def _book_departure(self, flow: Flow) -> None:
+        self._rate_total -= flow.rate
+        self._rate_by_class[flow.klass] = (
+            self._rate_by_class.get(flow.klass, 0.0) - flow.rate
+        )
+        if self._region_fn is not None:
+            key = (int(self._region_fn(flow)), flow.klass)
+            self._rate_by_region[key] = self._rate_by_region.get(key, 0.0) - flow.rate
 
     def _draw_flow(self, rng: np.random.Generator, epoch: int) -> Flow:
         cfg = self.config

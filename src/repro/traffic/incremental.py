@@ -254,10 +254,13 @@ class ScheduleCache:
         long to even serve every link once) falls back to a full re-run.
 
     Cache hits and successful patches return schedules with
-    ``overhead_seconds == 0.0``: reuse costs no protocol air time (patching
-    is a local controller computation — the idealization is recorded in
-    DESIGN.md §7).  The last :class:`CacheDecision` and cumulative
-    :class:`CacheStats` are exposed for per-epoch accounting.
+    ``overhead_seconds == 0.0``: reuse costs no *protocol* air time.  A
+    patch is a controller computation whose **distribution** is what costs
+    air — unpriced by default (the historical idealization of DESIGN.md
+    §7), priced per delta message along the routing forest once
+    :meth:`bind_control` attaches a control ledger (DESIGN.md §10).  The
+    last :class:`CacheDecision` and cumulative :class:`CacheStats` are
+    exposed for per-epoch accounting.
     """
 
     def __init__(
@@ -289,8 +292,35 @@ class ScheduleCache:
         self._epoch_slots = epoch_slots
         self._cached: EpochSchedule | None = None
         self._baseline: np.ndarray | None = None
+        self._ledger = None
+        self._depths: np.ndarray | None = None
         self.last_decision: CacheDecision | None = None
         self.stats = CacheStats()
+
+    def bind_control(self, ledger, depths=None) -> None:
+        """Price patch distribution into ``ledger`` (repro.core.controlplane).
+
+        Once bound, every successful patch books one ``patch`` message per
+        membership edit — the repaired allocation differs from the cached
+        one by exactly the L1 distance between the two demand vectors —
+        multiplied by the link's hop ``depths`` from its gateway (the
+        controller's fix must relay down the routing forest to reach the
+        link's head; see :func:`~repro.core.controlplane.forest_depths`).
+        Cache hits book nothing: "no message" *is* the keep-current-schedule
+        signal, and full recomputes already pay the wrapped scheduler's own
+        protocol air.
+
+        The engines (re)bind this on every run from their ``control=``
+        model — including ``bind_control(None)`` on unpriced runs, so a
+        cache reused across runs never keeps charging a previous run's
+        ledger.
+        """
+        self._ledger = ledger
+        self._depths = (
+            None
+            if depths is None or ledger is None
+            else np.asarray(depths, dtype=np.int64)
+        )
 
     def invalidate(self) -> None:
         """Forget the cached schedule (the next call recomputes)."""
@@ -334,6 +364,17 @@ class ScheduleCache:
                 )
                 if patched is not None:
                     planned = EpochSchedule(patched, overhead_seconds=0.0)
+                    if self._ledger is not None:
+                        # One patch-delta message per membership edit (the
+                        # exact-allocation repair adds/removes |new - old|
+                        # memberships), each relayed depth hops down the
+                        # forest from the gateway controller.
+                        deltas = np.abs(snapshot - self._baseline)
+                        if self._depths is not None:
+                            messages = int((deltas * self._depths).sum())
+                        else:
+                            messages = int(deltas.sum())
+                        self._ledger.charge(epoch, "incremental", "patch", messages)
                     # The patched schedule becomes the new cache entry, with
                     # the current snapshot as its baseline: it was repaired
                     # *for* this demand vector.

@@ -38,14 +38,16 @@ class LinkQueues:
     def __init__(self, links: LinkSet):
         self.links = links
         n = links.n_links
-        by_head = links.link_of_head  # raises for non-forest link sets
-        self._by_head = by_head
+        self._by_head = links.link_of_head  # raises for non-forest link sets
         # next_link[k]: the link whose head is k's tail, or -1 when the tail
         # is a gateway (delivery).
-        self.next_link = np.array(
-            [by_head.get(int(t), -1) for t in links.tails], dtype=np.intp
-        )
+        self.next_link = links.next_links()
         self.backlog = np.zeros(n, dtype=np.int64)
+        #: Cumulative packets served (transmitted) per link — the spatial
+        #: breakdown of ``served_total``.  Regional controllers difference
+        #: it to attribute served work to their own links exactly instead
+        #: of proxying by emission share.
+        self.served_by_link = np.zeros(n, dtype=np.int64)
         # Batches are [birth_slot, count, source_link]: the entry link is
         # carried through every relay so deliveries can be attributed back
         # to the source that injected them (the flow-session layer's SLA
@@ -99,6 +101,7 @@ class LinkQueues:
         """
         idx = np.asarray(link_indices, dtype=np.intp)
         ready = idx[self.backlog[idx] > 0]
+        self.served_by_link[ready] += 1  # member links are unique per slot
         moves: list[tuple[int, int, int]] = []  # (next link or -1, birth, source)
         for k in ready:
             birth, source = self._pop(int(k))

@@ -52,6 +52,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.controlplane import ControlLedger, ControlPlaneModel, forest_depths
 from repro.phy.interference import PhysicalInterferenceModel
 from repro.scheduling.feasibility import SlotState
 from repro.scheduling.links import LinkSet
@@ -62,8 +63,8 @@ from repro.traffic.epoch import (
     EpochSchedule,
     EpochSchedulerFn,
     TrafficTrace,
-    overhead_to_slots,
     play_schedule,
+    priced_overhead_slots,
     trace_diverged,
 )
 from repro.traffic.generators import TrafficGenerator
@@ -507,6 +508,7 @@ def run_epochs_sharded(
     config: EpochConfig | None = None,
     max_workers: int = 1,
     on_epoch: Callable[[EpochRecord, LinkQueues], None] | None = None,
+    control: ControlPlaneModel | None = None,
 ) -> ShardedTrafficTrace:
     """Run the closed traffic loop with per-shard scheduling; return its trace.
 
@@ -530,12 +532,27 @@ def run_epochs_sharded(
     ``on_epoch`` mirrors :func:`~repro.traffic.epoch.run_epochs`: the
     feedback channel admission controllers observe, called with every
     appended record and the live global queues.
+
+    ``control`` opts the run into in-band control-plane pricing
+    (:mod:`repro.core.controlplane`), retiring the free-central-post-pass
+    idealization of DESIGN.md §8: on every multi-shard epoch whose round is
+    actually (re)reconciled, each demanded boundary link books one
+    ``report`` message (shards tell the reconciler what they scheduled near
+    their edges) and every membership the pass serializes books one
+    ``reconcile`` announcement.  The charges ride the epoch's overhead *on
+    the critical path* — coordination air serializes even when the regional
+    computations ran concurrently.  Per-shard schedule caches price their
+    patch distribution too, and a session workload with a ``bind_control``
+    hook books its signaling; with all prices zero the run is bit-identical
+    to ``control=None``.
     """
     from repro.traffic.incremental import ScheduleCache
 
     cfg = config or EpochConfig()
     if max_workers < 1:
         raise ValueError("max_workers must be >= 1")
+    ledger = ControlLedger(control) if control is not None else None
+    depths = forest_depths(plan.links) if ledger is not None else None
 
     schedulers: list[EpochSchedulerFn] = []
     caches: list[ScheduleCache | None] = []
@@ -553,11 +570,20 @@ def run_epochs_sharded(
                 epoch_slots=cfg.epoch_slots,
             )
             scheduler = cache
+        if cache is not None:
+            # (Re)bound every run — see run_epochs: a reused cache must not
+            # keep charging a previous run's ledger.
+            cache.bind_control(
+                ledger, depths[shard.link_indices] if ledger is not None else None
+            )
         schedulers.append(scheduler)
         caches.append(cache)
+    bind = getattr(generator, "bind_control", None)
+    if bind is not None:
+        bind(ledger)
 
     queues = LinkQueues(plan.links)
-    trace = ShardedTrafficTrace(config=cfg, queues=queues, plan=plan)
+    trace = ShardedTrafficTrace(config=cfg, queues=queues, plan=plan, ledger=ledger)
     T = cfg.epoch_slots
     executor = ThreadPoolExecutor(max_workers=max_workers) if max_workers > 1 else None
     # Reconciled-round memo: when every asked shard answers from its cache,
@@ -577,6 +603,7 @@ def run_epochs_sharded(
             served = 0
             delivered_before = queues.delivered_total
             overhead_slots = 0
+            control_slots = 0
             schedule_length = 0
             cache_hit = False
             patched = False
@@ -633,15 +660,19 @@ def run_epochs_sharded(
                     drift = max(finite) if finite else 0.0
 
                 asked_key = tuple(s.index for s in asked)
-                if (
+                from_memo = (
                     plan.n_shards > 1
                     and all_hit
                     and round_memo is not None
                     and round_memo[0] == asked_key
-                ):
+                )
+                if from_memo:
                     # Every asked shard answered verbatim from cache, so the
                     # superposed round is bit-identical to last epoch's:
                     # reuse its reconciliation instead of recomputing it.
+                    # No fresh coordination means no fresh coordination air
+                    # — "no message" is the keep-current-round signal, so a
+                    # priced run books nothing here either.
                     combined, reconciled = round_memo[1], round_memo[2]
                 else:
                     # Superpose in shard order: combined slot t is the union
@@ -674,14 +705,44 @@ def run_epochs_sharded(
                         combined, reconciled = reconcile_round(
                             combined, plan.links, model
                         )
+                        if ledger is not None:
+                            # Boundary reports: every demanded boundary link
+                            # of an asked shard tells the reconciler what its
+                            # shard scheduled near the edge.  Serialized
+                            # round: one announcement per membership moved
+                            # into overflow slots.  Both charged to this
+                            # epoch's critical path below.
+                            reports = sum(
+                                int(
+                                    (
+                                        snapshot[s.link_indices[s.boundary]] > 0
+                                    ).sum()
+                                )
+                                for s in asked
+                            )
+                            ledger.charge(epoch, "sharded", "report", reports)
+                            ledger.charge(
+                                epoch, "sharded", "reconcile", reconciled
+                            )
                 round_memo = (asked_key, combined, reconciled)
 
                 schedule_length = len(combined)
+                # Shards compute concurrently (max, not sum); the epoch's
+                # control messages serialize on shared air, so they ride the
+                # critical path on top of the slowest shard.
                 overhead_seconds = max(p.overhead_seconds for p in planned)
-                overhead_slots = overhead_to_slots(overhead_seconds, cfg)
+                overhead_slots, control_slots = priced_overhead_slots(
+                    overhead_seconds, ledger, epoch, cfg
+                )
                 playable = T - overhead_slots
                 served = play_schedule(
                     queues, combined[:playable], start, T, overhead_slots
+                )
+            elif ledger is not None:
+                # No demand, no shard asked — but booked control messages
+                # (e.g. session signaling into an idle mesh) still cost air.
+                overhead_slots, control_slots = priced_overhead_slots(
+                    0.0, ledger, epoch, cfg
                 )
 
             trace.records.append(
@@ -697,6 +758,10 @@ def run_epochs_sharded(
                     cache_hit=cache_hit,
                     patched=patched,
                     drift=drift,
+                    control_slots=control_slots,
+                    control_messages=(
+                        ledger.messages_for(epoch) if ledger is not None else 0
+                    ),
                     n_shards=plan.n_shards,
                     reconciled=reconciled,
                 )

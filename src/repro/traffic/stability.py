@@ -65,6 +65,10 @@ class StabilityMetrics:
     overhead_slots: float = 0.0  # amortized protocol overhead, slots per epoch
     cache_hit_rate: float = 0.0  # epochs that avoided a full scheduler re-run
     confirm_seeds: int = 1  # arrival seeds behind the stable verdict
+    # In-band control-plane accounting (repro.core.controlplane); both stay
+    # at 0 on unpriced runs, so pre-pricing metrics compare unchanged.
+    control_slots: float = 0.0  # amortized control share of the overhead, slots/epoch
+    control_messages: float = 0.0  # control messages booked, per epoch
     # Flow-session SLA accounting (repro.traffic.admission); all three stay
     # at their defaults when the operating point carries no session layer.
     blocking_probability: float = float("nan")  # sessions rejected at arrival
@@ -82,6 +86,11 @@ class StabilityMetrics:
             f"overhead={self.overhead_slots:.1f} slots/epoch, "
             f"cache hits={self.cache_hit_rate:.0%}"
         )
+        if self.control_messages > 0:
+            text += (
+                f", control={self.control_slots:.1f} slots/epoch "
+                f"({self.control_messages:.0f} msgs/epoch)"
+            )
         if not np.isnan(self.blocking_probability):
             text += (
                 f", blocking={self.blocking_probability:.0%}, "
@@ -226,6 +235,8 @@ def summarize_trace(
         stable=is_stable(trace, tolerance),
         overhead_slots=trace.overhead_slots_total / epochs,
         cache_hit_rate=trace.cache_hit_rate,
+        control_slots=trace.control_slots_total / epochs,
+        control_messages=trace.control_messages_total / epochs,
         blocking_probability=blocking,
         admitted_goodput=goodput,
         flow_p99_delay=flow_p99,

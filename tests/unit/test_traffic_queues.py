@@ -101,6 +101,19 @@ class TestConservation:
             == queues.delivered_total + queues.total_backlog()
         )
         assert queues.delivered_total > 0
+        # The per-link served counters are the spatial breakdown of
+        # served_total (regional controllers difference them for exact
+        # served attribution).
+        assert int(queues.served_by_link.sum()) == queues.served_total
+        assert (queues.served_by_link >= 0).all()
+
+    def test_served_by_link_counts_each_transmission(self):
+        queues = LinkQueues(chain_links())
+        queues.arrive(np.array([0, 0, 2]), 0)  # 2 packets at node 2 (link 1)
+        queues.serve_slot(np.array([1]), 0)  # relay one hop
+        queues.serve_slot(np.array([0, 1]), 1)  # deliver one, relay the other
+        np.testing.assert_array_equal(queues.served_by_link, [1, 2])
+        assert queues.served_total == 3
 
     def test_non_forest_link_set_rejected(self):
         two_headed = LinkSet(
