@@ -29,6 +29,12 @@ BENCH = ExperimentProfile(
     traffic_lambdas=(0.006, 0.0145, 0.019),
     traffic_epochs=10,
     traffic_epoch_slots=300,
+    # Every bench run emits its observability run file (spans + metrics)
+    # under benchmarks/results/<experiment>.jsonl; CI validates and
+    # summarizes them (python -m repro.obs).  Passive by construction —
+    # the differential tests prove obs never changes engine results.
+    obs_level="spans",
+    obs_jsonl=str(RESULTS_DIR),
     seed=20080617,
 )
 

@@ -79,6 +79,10 @@ def format_series(name: str, xs: Sequence[Any], ys: Sequence[Any]) -> str:
 
 
 def _fmt(value: Any) -> str:
+    if value is None:
+        # Unmeasured (e.g. a timing field on a host without a thread-CPU
+        # clock) — render like a redacted cell, never as a fake 0.
+        return "~"
     if isinstance(value, float):
         if value == 0:
             return "0"

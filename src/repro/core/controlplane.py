@@ -165,6 +165,19 @@ class ControlLedger:
         #: epoch's few entries, not the whole run's history.
         self._counts: dict[int, dict[tuple[str, str], int]] = {}
         self._lock = threading.Lock()
+        self._obs = None
+
+    def bind_obs(self, obs) -> None:
+        """Mirror every charge into an observability registry.
+
+        Once bound (the engines rebind per run; ``None`` unbinds), each
+        :meth:`charge` also books ``control.messages`` and
+        ``control.seconds`` counters labeled by layer and message class —
+        the series the run-file summarizer renders as control-air
+        attribution.  Observe-only: the ledger's own accounting is
+        untouched, so bound and unbound runs stay bit-identical.
+        """
+        self._obs = obs
 
     def charge(self, epoch: int, layer: str, message_class: str, count: int) -> float:
         """Book ``count`` messages of ``message_class`` from ``layer`` to
@@ -185,6 +198,14 @@ class ControlLedger:
             with self._lock:
                 bucket = self._counts.setdefault(epoch, {})
                 bucket[key] = bucket.get(key, 0) + count
+            if self._obs is not None:
+                self._obs.counter(
+                    "control.messages", count, layer=layer, cls=message_class
+                )
+                if seconds:
+                    self._obs.counter(
+                        "control.seconds", seconds, layer=layer, cls=message_class
+                    )
         return seconds
 
     def _entries(self, layer=None, message_class=None):

@@ -32,7 +32,12 @@ import math
 
 from repro.analysis.tables import TextTable
 from repro.core.fdd import fdd_on_network
-from repro.experiments.common import PAPER_PROTOCOL, ExperimentProfile
+from repro.experiments.common import (
+    PAPER_PROTOCOL,
+    ExperimentProfile,
+    finish_obs,
+    obs_for,
+)
 from repro.experiments.heavy_traffic import _grid_mesh
 from repro.traffic import (
     EpochConfig,
@@ -76,6 +81,7 @@ def admission_point(
     controller_name: str,
     rate: float,
     seed_index: int = 0,
+    obs=None,
 ) -> tuple[StabilityMetrics, FlowWorkload]:
     """Run one (controller, offered-rate) operating point; return its
     metrics (session fields populated) and the finished workload."""
@@ -87,13 +93,16 @@ def admission_point(
         controller=build_controller(profile, controller_name, n_sources),
         seed=spawn(profile.seed, *key),
     )
-    trace = run_epochs(links, workload, scheduler, config, on_epoch=workload.observe)
+    trace = run_epochs(
+        links, workload, scheduler, config, on_epoch=workload.observe, obs=obs
+    )
     return summarize_trace(trace, rate, session=workload), workload
 
 
 def admission_experiment(profile: ExperimentProfile) -> TextTable:
     """E10: admission controllers vs offered loads past the FDD knee."""
     network, gateways, links = _grid_mesh(profile)
+    obs = obs_for(profile, "admission")
     # The early-stop guard is looser than E7's (8x vs 4x the mean epoch
     # arrivals): a controller that caps *at* the estimated knee holds the
     # pre-control backlog as a standing, zero-slope queue — bounded, and
@@ -148,7 +157,7 @@ def admission_experiment(profile: ExperimentProfile) -> TextTable:
                 seed=spawn(profile.seed, "traffic-fdd"),
             )
             point, workload = admission_point(
-                profile, links, scheduler, config, name, knee * factor
+                profile, links, scheduler, config, name, knee * factor, obs=obs
             )
             p99 = point.flow_p99_delay
             table.add_row(
@@ -163,4 +172,5 @@ def admission_experiment(profile: ExperimentProfile) -> TextTable:
                 f"{point.overhead_slots:.1f}",
                 "yes" if point.stable else "NO",
             )
+    finish_obs(obs)
     return table

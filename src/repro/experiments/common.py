@@ -106,6 +106,12 @@ class ExperimentProfile:
     controlplane_lambda: float = 0.0145
     controlplane_policies: tuple[str, ...] = ("always", "patch")
     controlplane_admission_factor: float = 2.0
+    #: Observability (repro.obs): instrumentation level for the engine runs
+    #: an experiment performs ("off" | "metrics" | "spans") and, when set,
+    #: the directory its JSONL run file (``<experiment>.jsonl``) is written
+    #: to.  See :func:`obs_for` and DESIGN.md §11.
+    obs_level: str = "off"
+    obs_jsonl: str | None = None
     seed: int = DEFAULT_SEED
 
 
@@ -135,6 +141,49 @@ QUICK = ExperimentProfile(
 
 #: The paper's protocol constants (Section VI-A).
 PAPER_PROTOCOL = ProtocolConfig(k=5, smbytes=15, id_bits=8)
+
+
+def obs_for(profile: ExperimentProfile, experiment: str, **extra):
+    """Build the Obs handle an experiment threads through its engine runs.
+
+    Returns ``None`` when the profile's ``obs_level`` is ``off`` (engines
+    take ``obs=None``), otherwise an :class:`repro.obs.Obs` at the
+    profile's level.  With ``obs_jsonl`` set, the run streams to
+    ``<obs_jsonl>/<experiment>.jsonl``; the experiment must call
+    ``finish_obs(obs)`` after its last engine run to flush the metrics
+    snapshot and summary line.  ``extra`` lands in the run file's config
+    fingerprint alongside the profile name and seed.
+    """
+    from pathlib import Path
+
+    from repro.obs import Obs, ObsConfig
+
+    if profile.obs_level == "off":
+        return None
+    path = None
+    if profile.obs_jsonl is not None:
+        directory = Path(profile.obs_jsonl)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = str(directory / f"{experiment}.jsonl")
+    return Obs.create(
+        ObsConfig(
+            level=profile.obs_level,
+            jsonl_path=path,
+            run_name=experiment,
+            config={
+                "experiment": experiment,
+                "profile": profile.name,
+                "seed": profile.seed,
+                **extra,
+            },
+        )
+    )
+
+
+def finish_obs(obs) -> None:
+    """Flush an experiment's Obs (no-op for ``None`` / non-JSONL handles)."""
+    if obs is not None:
+        obs.export()
 
 
 def grid_scenario(

@@ -37,9 +37,14 @@ from repro.analysis.tables import TextTable
 from repro.core.controlplane import ControlPlaneModel
 from repro.core.fdd import fdd_on_network
 from repro.experiments.admission import build_controller, session_config
-from repro.experiments.common import PAPER_PROTOCOL, ExperimentProfile
+from repro.experiments.common import (
+    PAPER_PROTOCOL,
+    ExperimentProfile,
+    finish_obs,
+    obs_for,
+)
 from repro.experiments.heavy_traffic import _generator, _grid_mesh
-from repro.experiments.sharded import _grid_case
+from repro.experiments.sharded import _grid_case, _secs
 from repro.traffic import (
     EpochConfig,
     FlowWorkload,
@@ -103,9 +108,11 @@ def controlplane_experiment(profile: ExperimentProfile) -> TextTable:
         f"signal={profile.controlplane_signal_bytes:g}B per message)",
     )
 
-    _e8_rows(profile, table)
-    _e9_rows(profile, table)
-    _e10_rows(profile, table)
+    obs = obs_for(profile, "controlplane")
+    _e8_rows(profile, table, obs)
+    _e9_rows(profile, table, obs)
+    _e10_rows(profile, table, obs)
+    finish_obs(obs)
     return table
 
 
@@ -129,12 +136,12 @@ def _add_row(table, headline, variant, point_label, point, trace, blocking="-"):
         f"{air_ms:.2f}",
         f"{point.control_messages:.0f}",
         blocking,
-        f"{trace.scheduling_seconds:.2f}",
+        _secs(trace.scheduling_seconds),
         "yes" if point.stable else "NO",
     )
 
 
-def _e8_rows(profile: ExperimentProfile, table: TextTable) -> None:
+def _e8_rows(profile: ExperimentProfile, table: TextTable, obs=None) -> None:
     """Incremental rescheduling with priced patch distribution."""
     network, gateways, links = _grid_mesh(profile)
     rate = profile.controlplane_lambda
@@ -162,6 +169,7 @@ def _e8_rows(profile: ExperimentProfile, table: TextTable) -> None:
                 config,
                 model=network.model,
                 control=_variant_model(profile, variant),
+                obs=obs,
             )
             point = summarize_trace(trace, rate)
             amortized[(policy, variant)] = point.overhead_slots
@@ -193,7 +201,7 @@ def _e8_rows(profile: ExperimentProfile, table: TextTable) -> None:
                 )
 
 
-def _e9_rows(profile: ExperimentProfile, table: TextTable) -> None:
+def _e9_rows(profile: ExperimentProfile, table: TextTable, obs=None) -> None:
     """Sharded reconciliation with priced boundary reports and rounds."""
     rows, cols = profile.sharded_grids[0]
     lams = profile.sharded_lambdas[0]
@@ -228,6 +236,7 @@ def _e9_rows(profile: ExperimentProfile, table: TextTable) -> None:
             config,
             max_workers=profile.sharded_workers,
             control=_variant_model(profile, variant),
+            obs=obs,
         )
         point = summarize_trace(trace, rate)
         _add_row(
@@ -240,7 +249,7 @@ def _e9_rows(profile: ExperimentProfile, table: TextTable) -> None:
         )
 
 
-def _e10_rows(profile: ExperimentProfile, table: TextTable) -> None:
+def _e10_rows(profile: ExperimentProfile, table: TextTable, obs=None) -> None:
     """Knee-tracker admission with priced signaling and observables."""
     network, gateways, links = _grid_mesh(profile)
     factor = profile.controlplane_admission_factor
@@ -273,6 +282,7 @@ def _e10_rows(profile: ExperimentProfile, table: TextTable) -> None:
             config,
             on_epoch=workload.observe,
             control=_variant_model(profile, variant),
+            obs=obs,
         )
         point = summarize_trace(trace, rate, session=workload)
         _add_row(

@@ -41,7 +41,12 @@ import numpy as np
 
 from repro.analysis.tables import TextTable
 from repro.core.fdd import fdd_on_network
-from repro.experiments.common import PAPER_PROTOCOL, ExperimentProfile
+from repro.experiments.common import (
+    PAPER_PROTOCOL,
+    ExperimentProfile,
+    finish_obs,
+    obs_for,
+)
 from repro.routing import build_routing_forest, planned_gateways
 from repro.scheduling.links import forest_link_set
 from repro.topology.network import grid_network
@@ -90,6 +95,7 @@ def _generator(profile: ExperimentProfile, network, gateways, rate: float, seed_
 def heavy_traffic_experiment(profile: ExperimentProfile) -> TextTable:
     """E7: stability-region sweep on the planned 8x8 grid (Section VI-A layout)."""
     network, gateways, links = _grid_mesh(profile)
+    obs = obs_for(profile, "heavy-traffic")
     config = EpochConfig(
         epoch_slots=profile.traffic_epoch_slots,
         n_epochs=profile.traffic_epochs,
@@ -131,7 +137,7 @@ def heavy_traffic_experiment(profile: ExperimentProfile) -> TextTable:
 
         def run_at(rate: float, seed_index: int = 0, scheduler=scheduler) -> TrafficTrace:
             generator = _generator(profile, network, gateways, rate, seed_index)
-            return run_epochs(links, generator, scheduler, config)
+            return run_epochs(links, generator, scheduler, config, obs=obs)
 
         points = stability_sweep(
             profile.traffic_lambdas,
@@ -157,6 +163,7 @@ def heavy_traffic_experiment(profile: ExperimentProfile) -> TextTable:
         table.add_row(
             name, "knee", "-", "-", "-", "-", "-", "-" if knee is None else f"{knee:g}"
         )
+    finish_obs(obs)
     return table
 
 
@@ -169,6 +176,7 @@ def incremental_experiment(profile: ExperimentProfile) -> TextTable:
     slots actually paid, hit rate, and the per-policy stability knee.
     """
     network, gateways, links = _grid_mesh(profile)
+    obs = obs_for(profile, "incremental")
     base_config = EpochConfig(
         epoch_slots=profile.traffic_epoch_slots,
         n_epochs=profile.traffic_epochs,
@@ -209,7 +217,9 @@ def incremental_experiment(profile: ExperimentProfile) -> TextTable:
                 seed=spawn(profile.seed, "traffic-fdd"),
             )
             generator = _generator(profile, network, gateways, rate, seed_index)
-            trace = run_epochs(links, generator, scheduler, config, model=network.model)
+            trace = run_epochs(
+                links, generator, scheduler, config, model=network.model, obs=obs
+            )
             if seed_index == 0:
                 base_traces[(config.reschedule_policy, rate)] = trace
             return trace
@@ -248,4 +258,5 @@ def incremental_experiment(profile: ExperimentProfile) -> TextTable:
             "-",
             "-" if knee is None else f"{knee:g}",
         )
+    finish_obs(obs)
     return table

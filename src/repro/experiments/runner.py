@@ -165,12 +165,35 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="root seed for all randomness (default: the profile's seed)",
     )
+    parser.add_argument(
+        "--obs",
+        choices=("off", "metrics", "spans"),
+        default=None,
+        help="instrumentation level for the engine runs (default: the "
+        "profile's obs_level, normally off)",
+    )
+    parser.add_argument(
+        "--obs-jsonl",
+        type=Path,
+        default=None,
+        help="directory for JSONL run files (<experiment>.jsonl); implies "
+        "--obs spans unless --obs is given",
+    )
     args = parser.parse_args(argv)
     profile = FULL if args.profile == "full" else QUICK
+    overrides: dict = {}
     if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.obs is not None:
+        overrides["obs_level"] = args.obs
+    if args.obs_jsonl is not None:
+        overrides["obs_jsonl"] = str(args.obs_jsonl)
+        if args.obs is None:
+            overrides["obs_level"] = "spans"
+    if overrides:
         from dataclasses import replace
 
-        profile = replace(profile, seed=args.seed)
+        profile = replace(profile, **overrides)
 
     names = list(EXPERIMENTS) if "all" in args.names else args.names
     unknown = [n for n in names if n not in EXPERIMENTS]

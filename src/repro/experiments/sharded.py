@@ -34,7 +34,12 @@ import numpy as np
 from repro.analysis.tables import TextTable
 from repro.core.config import ProtocolConfig
 from repro.core.fdd import fdd_on_network
-from repro.experiments.common import PAPER_PROTOCOL, ExperimentProfile
+from repro.experiments.common import (
+    PAPER_PROTOCOL,
+    ExperimentProfile,
+    finish_obs,
+    obs_for,
+)
 from repro.routing import build_routing_forest, planned_gateways
 from repro.scheduling.links import forest_link_set
 from repro.topology.network import grid_network
@@ -79,8 +84,14 @@ def _grid_case(profile: ExperimentProfile, rows: int, cols: int):
     return network, gateways, links, backbone_protocol(network)
 
 
+def _secs(value: float | None) -> str:
+    """Render a thread-CPU timing cell; ``~`` when the clock was unavailable."""
+    return "~" if value is None else f"{value:.2f}"
+
+
 def sharded_experiment(profile: ExperimentProfile) -> TextTable:
     """E9: monolithic vs sharded epoch engine on multi-region grids."""
+    obs = obs_for(profile, "sharded")
     table = TextTable(
         [
             "grid",
@@ -134,7 +145,9 @@ def sharded_experiment(profile: ExperimentProfile) -> TextTable:
                 config=protocol_cfg,
                 seed=spawn(profile.seed, "sharded-fdd", rows),
             )
-            return run_epochs(links, generator(rate, seed_index), scheduler, config)
+            return run_epochs(
+                links, generator(rate, seed_index), scheduler, config, obs=obs
+            )
 
         def run_sharded(rate: float, seed_index: int = 0) -> TrafficTrace:
             factory = sharded_distributed_factory(
@@ -150,11 +163,12 @@ def sharded_experiment(profile: ExperimentProfile) -> TextTable:
                 network.model,
                 config,
                 max_workers=profile.sharded_workers,
+                obs=obs,
             )
 
         knees: dict[str, float | None] = {}
-        compute: dict[str, float] = {}
-        critical: dict[str, float] = {}
+        compute: dict[str, float | None] = {}
+        critical: dict[str, float | None] = {}
         for engine, run_at in (("monolithic", run_mono), ("sharded", run_sharded)):
             base_traces: dict[float, TrafficTrace] = {}
 
@@ -170,9 +184,15 @@ def sharded_experiment(profile: ExperimentProfile) -> TextTable:
                 confirm_seeds=profile.traffic_confirm_seeds,
             )
             knees[engine] = stability_knee(points)
-            compute[engine] = sum(t.scheduling_seconds for t in base_traces.values())
-            critical[engine] = sum(
-                t.critical_path_seconds for t in base_traces.values()
+            # Timing fields are None on hosts without a thread-CPU clock
+            # (satellite rule: never report a silent 0.0 as a measurement).
+            secs = [t.scheduling_seconds for t in base_traces.values()]
+            crit = [t.critical_path_seconds for t in base_traces.values()]
+            compute[engine] = (
+                sum(secs) if all(s is not None for s in secs) else None
+            )
+            critical[engine] = (
+                sum(crit) if all(s is not None for s in crit) else None
             )
             for point in points:
                 trace = base_traces[point.offered_rate]
@@ -187,8 +207,8 @@ def sharded_experiment(profile: ExperimentProfile) -> TextTable:
                     f"{point.throughput:.3f}",
                     f"{point.mean_delay:.1f}",
                     f"{point.overhead_slots:.1f}",
-                    f"{trace.scheduling_seconds:.2f}",
-                    f"{trace.critical_path_seconds:.2f}",
+                    _secs(trace.scheduling_seconds),
+                    _secs(trace.critical_path_seconds),
                     f"{trace.reconciled_total / epochs:.1f}",
                     stable,
                 )
@@ -201,11 +221,17 @@ def sharded_experiment(profile: ExperimentProfile) -> TextTable:
                 "-",
                 "-",
                 "-",
-                f"{compute[engine]:.2f}",
-                f"{critical[engine]:.2f}",
+                _secs(compute[engine]),
+                _secs(critical[engine]),
                 "-",
                 "-" if knee is None else f"{knee:g}",
             )
+
+        def speedup(totals: dict[str, float | None]) -> str:
+            if totals["monolithic"] is None or totals["sharded"] is None:
+                return "~"
+            return f"{totals['monolithic'] / max(totals['sharded'], 1e-9):.2f}x"
+
         table.add_row(
             grid,
             "speedup",
@@ -213,9 +239,10 @@ def sharded_experiment(profile: ExperimentProfile) -> TextTable:
             "-",
             "-",
             "-",
-            f"{compute['monolithic'] / max(compute['sharded'], 1e-9):.2f}x",
-            f"{critical['monolithic'] / max(critical['sharded'], 1e-9):.2f}x",
+            speedup(compute),
+            speedup(critical),
             "-",
             "-",
         )
+    finish_obs(obs)
     return table

@@ -1,0 +1,49 @@
+"""CLI for observability run files.
+
+``python -m repro.obs summarize run.jsonl [more.jsonl ...]`` renders the
+per-phase, control-air, and SLA-quantile tables of each run file;
+``python -m repro.obs validate run.jsonl [...]`` checks files against the
+JSONL schema and exits non-zero on the first violation — the CI gate that
+keeps malformed emissions from shipping as green artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .export import validate_run_file
+from .summarize import summarize_run
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize or validate observability JSONL run files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_sum = sub.add_parser("summarize", help="render run-file summary tables")
+    p_sum.add_argument("files", nargs="+", help="JSONL run files")
+    p_val = sub.add_parser("validate", help="check run files against the schema")
+    p_val.add_argument("files", nargs="+", help="JSONL run files")
+    args = parser.parse_args(argv)
+
+    status = 0
+    for path in args.files:
+        if args.command == "validate":
+            problems = validate_run_file(path)
+            if problems:
+                status = 1
+                print(f"{path}: INVALID")
+                for problem in problems:
+                    print(f"  - {problem}")
+            else:
+                print(f"{path}: ok")
+        else:
+            print(summarize_run(path))
+            print()
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

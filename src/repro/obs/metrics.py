@@ -1,0 +1,322 @@
+"""Streaming metrics: counters, gauges, and P²-quantile histograms.
+
+The engines' historical accounting retains full per-event logs (per-packet
+delay lists, per-epoch record lists) and summarizes them after the run —
+O(trace) memory that the 100k-node roadmap item cannot afford.  This module
+supplies the O(1) alternative: a :class:`MetricsRegistry` of named series
+where counters and gauges are single floats and distribution summaries are
+:class:`StreamingHistogram`\\ s built on the P² algorithm of Jain & Chlamtac
+(CACM 1985) — five markers per tracked quantile, updated in constant time
+per observation, no samples stored.
+
+P² error characteristics (unit-tested in ``tests/unit/test_obs_metrics.py``):
+estimates are *exact* until the fifth observation (the markers are the
+sorted sample), and for smooth unimodal distributions the p99 estimate
+lands within a few percent of the exact empirical quantile at a few
+thousand observations.  The estimator is not robust to pathological
+adversarial orderings — it is a monitoring instrument, not a statistic for
+the result tables, which keep their exact full-log computations by default.
+
+Metric identity is ``(dotted name, frozen label set)``: the same name with
+different labels (engine, region, epoch, message class, ...) is a distinct
+series, which is how one registry carries every engine of a sharded,
+admission-controlled run without collisions.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+__all__ = [
+    "P2Quantile",
+    "StreamingHistogram",
+    "MetricsRegistry",
+    "label_key",
+]
+
+#: Quantiles a histogram tracks by default: the median plus the two SLA
+#: tails the delay analyses report.
+DEFAULT_QUANTILES = (0.5, 0.99, 0.999)
+
+
+class P2Quantile:
+    """One streaming quantile estimate via the P² algorithm.
+
+    Five markers track (min, q/2, q, (1+q)/2, max) heights; each
+    observation adjusts marker positions toward their ideal (linearly
+    interpolated) locations using a piecewise-parabolic height update.
+    Memory and per-observation cost are O(1); with fewer than five
+    observations the estimate is read exactly off the sorted sample.
+    """
+
+    __slots__ = ("q", "n", "_heights", "_positions", "_desired", "_rates")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = float(q)
+        self.n = 0
+        self._heights: list[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._rates = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def add(self, value: float) -> None:
+        x = float(value)
+        self.n += 1
+        if self.n <= 5:
+            self._heights.append(x)
+            self._heights.sort()
+            return
+        h = self._heights
+        # Locate the cell and bump the markers above it.
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= h[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            self._positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._rates[i]
+        # Adjust the three interior markers toward their desired positions.
+        for i in range(1, 4):
+            d = self._desired[i] - self._positions[i]
+            pos = self._positions
+            if (d >= 1.0 and pos[i + 1] - pos[i] > 1.0) or (
+                d <= -1.0 and pos[i - 1] - pos[i] < -1.0
+            ):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:  # parabolic prediction left the bracket: go linear
+                    h[i] = self._linear(i, step)
+                pos[i] += step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        h, pos = self._heights, self._positions
+        return h[i] + d / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + d) * (h[i + 1] - h[i]) / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - d) * (h[i] - h[i - 1]) / (pos[i] - pos[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        h, pos = self._heights, self._positions
+        j = i + int(d)
+        return h[i] + d * (h[j] - h[i]) / (pos[j] - pos[i])
+
+    @property
+    def value(self) -> float:
+        """The current quantile estimate (nan before any observation)."""
+        if self.n == 0:
+            return float("nan")
+        if self.n <= 5:  # exact: read the sorted sample directly
+            rank = max(0, min(self.n - 1, round(self.q * (self.n - 1))))
+            return self._heights[rank]
+        return self._heights[2]
+
+
+class StreamingHistogram:
+    """O(1)-memory distribution summary: count, mean, min/max, P² quantiles.
+
+    The mean is an exact running mean (Welford-style incremental update);
+    each tracked quantile is a :class:`P2Quantile`.  ``snapshot()`` renders
+    the summary as the plain dict the JSONL exporter emits.
+    """
+
+    __slots__ = ("count", "mean", "min", "max", "_quantiles")
+
+    def __init__(self, quantiles: Iterable[float] = DEFAULT_QUANTILES):
+        qs = tuple(float(q) for q in quantiles)
+        if not qs:
+            raise ValueError("a histogram needs at least one tracked quantile")
+        self.count = 0
+        self.mean = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._quantiles = {q: P2Quantile(q) for q in qs}
+
+    def add(self, value: float) -> None:
+        x = float(value)
+        self.count += 1
+        self.mean += (x - self.mean) / self.count
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+        for est in self._quantiles.values():
+            est.add(x)
+
+    def add_many(self, values: Iterable[float]) -> None:
+        """Batch feed: moments vectorize; the P² markers stay sequential.
+
+        The count/mean/min/max merge is O(1) numpy work regardless of
+        batch size, which keeps end-of-run bulk bookings (a whole delay
+        array at once) off the per-sample Python path.  Quantile markers
+        are order-dependent by construction, so they still see every
+        value — but through a tight bound-method loop.
+        """
+        if isinstance(values, np.ndarray):
+            arr = values.astype(float, copy=False).ravel()
+        else:
+            arr = np.fromiter((float(v) for v in values), dtype=float)
+        if not arr.size:
+            return
+        total = self.count + arr.size
+        self.mean += (float(arr.sum()) - arr.size * self.mean) / total
+        self.count = total
+        low, high = float(arr.min()), float(arr.max())
+        if low < self.min:
+            self.min = low
+        if high > self.max:
+            self.max = high
+        samples = arr.tolist()
+        for est in self._quantiles.values():
+            add = est.add
+            for x in samples:
+                add(x)
+
+    @property
+    def tracked_quantiles(self) -> tuple[float, ...]:
+        return tuple(self._quantiles)
+
+    def quantile(self, q: float) -> float:
+        """The estimate for a *tracked* quantile (KeyError otherwise)."""
+        return self._quantiles[float(q)].value
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean if self.count else float("nan"),
+            "min": self.min if self.count else float("nan"),
+            "max": self.max if self.count else float("nan"),
+            "quantiles": {f"p{q:g}": est.value for q, est in self._quantiles.items()},
+        }
+
+
+def label_key(labels: Mapping[str, object]) -> tuple[tuple[str, str], ...]:
+    """Canonical hashable identity of a label set (sorted, stringified)."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Named, labeled metric series: counters, gauges, histograms.
+
+    Addressing is ``registry.counter("traffic.delivered", 3, engine="sharded")``
+    — dotted metric name plus free-form labels.  All mutators are
+    thread-safe (the sharded engine's worker threads and per-shard caches
+    book into one shared registry); histogram updates serialize on the
+    registry lock, which is fine at the per-epoch/per-delivery rates the
+    engines emit.
+    """
+
+    def __init__(self, quantiles: Iterable[float] = DEFAULT_QUANTILES):
+        self._quantiles = tuple(float(q) for q in quantiles)
+        self._counters: dict[tuple[str, tuple], float] = {}
+        self._gauges: dict[tuple[str, tuple], float] = {}
+        self._histograms: dict[tuple[str, tuple], StreamingHistogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, value: float = 1.0, **labels) -> None:
+        """Add ``value`` (default 1) to a monotone counter series."""
+        key = (name, label_key(labels))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + float(value)
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set a gauge series to its latest value."""
+        with self._lock:
+            self._gauges[(name, label_key(labels))] = float(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Feed one observation into a histogram series."""
+        key = (name, label_key(labels))
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = StreamingHistogram(self._quantiles)
+            hist.add(value)
+
+    def observe_many(self, name: str, values: Iterable[float], **labels) -> None:
+        key = (name, label_key(labels))
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = StreamingHistogram(self._quantiles)
+            hist.add_many(values)
+
+    def adopt_histogram(
+        self, name: str, hist: StreamingHistogram, **labels
+    ) -> None:
+        """Register an externally-maintained histogram as a series.
+
+        P² summaries cannot be merged after the fact, so a streaming
+        aggregate built outside the registry (the delivery stream a
+        :class:`~repro.traffic.queues.LinkQueues` feeds packet-by-packet)
+        is adopted by reference and snapshotted at export like any other
+        series."""
+        with self._lock:
+            self._histograms[(name, label_key(labels))] = hist
+
+    # -- reads ---------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels) -> float:
+        return self._counters.get((name, label_key(labels)), 0.0)
+
+    def gauge_value(self, name: str, **labels) -> float:
+        return self._gauges.get((name, label_key(labels)), float("nan"))
+
+    def histogram(self, name: str, **labels) -> StreamingHistogram | None:
+        return self._histograms.get((name, label_key(labels)))
+
+    def counters_named(self, name: str) -> list[tuple[dict, float]]:
+        """Every ``(labels, value)`` series of one counter name."""
+        return [
+            (dict(key[1]), value)
+            for key, value in sorted(self._counters.items())
+            if key[0] == name
+        ]
+
+    @property
+    def n_series(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def rows(self) -> Iterator[dict]:
+        """Snapshot every series as the JSONL exporter's metric rows."""
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+        for (name, labels), value in counters:
+            yield {
+                "type": "metric",
+                "kind": "counter",
+                "name": name,
+                "labels": dict(labels),
+                "value": value,
+            }
+        for (name, labels), value in gauges:
+            yield {
+                "type": "metric",
+                "kind": "gauge",
+                "name": name,
+                "labels": dict(labels),
+                "value": value,
+            }
+        for (name, labels), hist in histograms:
+            yield {
+                "type": "metric",
+                "kind": "histogram",
+                "name": name,
+                "labels": dict(labels),
+                **hist.snapshot(),
+            }

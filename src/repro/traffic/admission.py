@@ -505,6 +505,14 @@ class RegionalControllers(AdmissionController):
         )
 
     def observe(self, record, queues: LinkQueues, session: FlowWorkload) -> None:
+        if queues.delivery_stream is not None:
+            # Streaming-deliveries mode drops the per-delivery source log
+            # this attribution depends on; silently reading an empty tail
+            # would freeze every regional controller at zero deliveries.
+            raise RuntimeError(
+                "RegionalControllers requires the full delivery log; "
+                "run without ObsConfig.stream_deliveries"
+            )
         backlog = queues.backlog
         n_regions = len(self.regional)
         emitted = np.zeros(n_regions, dtype=np.int64)
@@ -612,7 +620,9 @@ def flow_delays(session: FlowWorkload, queues: LinkQueues) -> dict[int, float]:
     group — the delivered packets that entered at one source link in one
     epoch — attributes its *mean* delay to every flow that emitted into
     it, weighted by the flow's share of the group's emissions.  Flows none
-    of whose packets were delivered yet are absent from the result.
+    of whose packets were delivered yet are absent from the result.  Under
+    ``ObsConfig.stream_deliveries`` the per-delivery log is not retained,
+    so the result is empty (and the SLA percentile below is nan).
     """
     groups: dict[tuple[int, int], list[int]] = {}
     epoch_slots = session._epoch_slots

@@ -32,7 +32,6 @@ protocol's air time across quiet epochs (see
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
@@ -41,6 +40,8 @@ import numpy as np
 from repro.core.config import ProtocolConfig
 from repro.core.controlplane import ControlLedger, ControlPlaneModel, forest_depths
 from repro.core.timing import TimingModel
+from repro.obs import DeliveryStream, Obs, phase
+from repro.obs import spans as obs_spans
 from repro.phy.interference import PhysicalInterferenceModel
 from repro.scheduling.greedy_physical import greedy_physical
 from repro.scheduling.linear import linear_schedule
@@ -182,21 +183,24 @@ class EpochRecord:
 class TrafficTrace:
     """Outcome of a full epoch-loop run.
 
-    ``scheduling_seconds`` is the measured wall-clock spent inside scheduler
-    calls across the run; ``critical_path_seconds`` is the same quantity on
-    the deployment's critical path — for the monolithic loop the two are
-    equal (one scheduler, one controller), while the sharded engine records
-    the per-epoch *maximum* over its concurrently computing regions (see
-    :mod:`repro.traffic.sharded`), which is what wall-clock means when every
-    region has its own controller.
+    ``scheduling_seconds`` is the measured thread-CPU time spent inside
+    scheduler calls across the run; ``critical_path_seconds`` is the same
+    quantity on the deployment's critical path — for the monolithic loop the
+    two are equal (one scheduler, one controller), while the sharded engine
+    records the per-epoch *maximum* over its concurrently computing regions
+    (see :mod:`repro.traffic.sharded`), which is what wall-clock means when
+    every region has its own controller.  Both are ``None`` — not a silent
+    0.0 — when the platform provides no per-thread CPU clock
+    (:data:`repro.obs.spans.CPU_CLOCK`), so "not measured" can never be
+    mistaken for "free"; tables render the un-instrumented case as ``~``.
     """
 
     config: EpochConfig
     records: list[EpochRecord] = field(default_factory=list)
     diverged: bool = False
     queues: LinkQueues | None = None
-    scheduling_seconds: float = 0.0
-    critical_path_seconds: float = 0.0
+    scheduling_seconds: float | None = None
+    critical_path_seconds: float | None = None
     #: In-band control-plane account of the run, or ``None`` when the
     #: engine ran unpriced (no ``control=`` model given).
     ledger: ControlLedger | None = None
@@ -352,6 +356,58 @@ def play_schedule(
     return served
 
 
+def book_epoch_obs(obs: Obs | None, record: EpochRecord, engine: str) -> None:
+    """Book one epoch record's counters/gauges into an obs registry.
+
+    The per-epoch metric surface shared by both engines: monotone counters
+    for flow (arrivals/served/delivered), overhead and control slots, cache
+    outcomes and reconciliations, plus a backlog gauge.  No-op when obs is
+    off — and always passive either way.
+    """
+    if obs is None:
+        return
+    obs.counter("traffic.arrivals", record.arrivals, engine=engine)
+    obs.counter("traffic.served", record.served, engine=engine)
+    obs.counter("traffic.delivered", record.delivered, engine=engine)
+    obs.counter("traffic.overhead_slots", record.overhead_slots, engine=engine)
+    if record.control_slots:
+        obs.counter("traffic.control_slots", record.control_slots, engine=engine)
+    if record.reconciled:
+        obs.counter("traffic.reconciled", record.reconciled, engine=engine)
+    obs.gauge("traffic.backlog", record.backlog_end, engine=engine)
+    obs.gauge("traffic.epochs_run", record.epoch + 1, engine=engine)
+
+
+def finish_run_obs(obs: Obs | None, trace: TrafficTrace, engine: str) -> None:
+    """End-of-run bookings: delay distributions and run-level gauges.
+
+    In full-log mode the exact per-packet delays feed a fresh registry
+    histogram; in streaming mode (``ObsConfig.stream_deliveries``) the
+    queues' :class:`~repro.obs.DeliveryStream` aggregates — overall and
+    per region class — are adopted by reference instead (P² summaries
+    cannot be merged after the fact).
+    """
+    if obs is None or trace.queues is None:
+        return
+    stream = trace.queues.delivery_stream
+    if stream is not None:
+        obs.registry.adopt_histogram(
+            "traffic.delay_slots", stream.total, engine=engine, region="all"
+        )
+        for key, hist in stream.by_class.items():
+            obs.registry.adopt_histogram(
+                "traffic.delay_slots", hist, engine=engine, region=key
+            )
+    else:
+        delays = trace.queues.delay_array()
+        if delays.size:
+            obs.observe_many(
+                "traffic.delay_slots", delays, engine=engine, region="all"
+            )
+    if trace.diverged:
+        obs.counter("traffic.diverged", 1, engine=engine)
+
+
 def run_epochs(
     links: LinkSet,
     generator: TrafficGenerator,
@@ -360,6 +416,7 @@ def run_epochs(
     model: PhysicalInterferenceModel | None = None,
     on_epoch: Callable[[EpochRecord, LinkQueues], None] | None = None,
     control: ControlPlaneModel | None = None,
+    obs: Obs | None = None,
 ) -> TrafficTrace:
     """Run the closed arrival/reschedule/serve loop; return its trace.
 
@@ -384,6 +441,14 @@ def run_epochs(
     booked control seconds ride the epoch's overhead
     (:func:`priced_overhead_slots`).  With all prices zero the run is
     bit-identical to ``control=None``.
+
+    ``obs`` attaches a :class:`~repro.obs.Obs` instrument (metrics +
+    phase spans + optional JSONL recording; see :mod:`repro.obs`).
+    Observability is strictly passive — it consumes no RNG and mutates no
+    engine state, so the trace is bit-identical with ``obs=None``, a null
+    recorder, or an active JSONL recorder (the differential tests pin
+    this).  The caller owns the handle: call ``obs.export()`` after the
+    run(s) to flush the JSONL file.
     """
     # Imported here, not at module top: incremental.py imports EpochSchedule
     # from this module.
@@ -391,6 +456,8 @@ def run_epochs(
 
     cfg = config or EpochConfig()
     ledger = ControlLedger(control) if control is not None else None
+    if ledger is not None:
+        ledger.bind_obs(obs)
     cache = scheduler if isinstance(scheduler, ScheduleCache) else None
     if cache is None and cfg.reschedule_policy != "always":
         cache = ScheduleCache(
@@ -407,16 +474,29 @@ def run_epochs(
     # earlier run must not keep charging that run's ledger.
     if cache is not None:
         cache.bind_control(ledger, forest_depths(links) if ledger else None)
+        cache.bind_obs(obs, engine="epoch")
     bind = getattr(generator, "bind_control", None)
     if bind is not None:
         bind(ledger)
-    queues = LinkQueues(links)
+    bind_obs = getattr(generator, "bind_obs", None)
+    if bind_obs is not None:
+        bind_obs(obs)
+    stream = (
+        DeliveryStream()
+        if obs is not None and obs.stream_deliveries
+        else None
+    )
+    queues = LinkQueues(links, delivery_stream=stream)
     trace = TrafficTrace(config=cfg, queues=queues, ledger=ledger)
+    if obs_spans.CPU_CLOCK is not None:
+        trace.scheduling_seconds = 0.0
+        trace.critical_path_seconds = 0.0
     T = cfg.epoch_slots
 
     for epoch in range(cfg.n_epochs):
         start = epoch * T
-        arrived = queues.arrive(generator.arrivals(epoch, T), start)
+        with phase(obs, "epoch.arrivals", engine="epoch", epoch=epoch):
+            arrived = queues.arrive(generator.arrivals(epoch, T), start)
 
         snapshot = queues.backlog.copy()
         if cfg.demand_cap is not None:
@@ -432,30 +512,35 @@ def run_epochs(
 
         if snapshot.sum() > 0:
             demand_links = replace(links, demand=snapshot)
-            # Thread CPU time, not wall: the sharded engine times each
-            # shard's scheduler on its own worker thread, where wall time
-            # would also charge the GIL waits of the *other* shards.  On
-            # this single-threaded path the two clocks agree.
-            sched_start = time.thread_time()
-            planned = scheduler(demand_links, epoch)
-            sched_seconds = time.thread_time() - sched_start
-            trace.scheduling_seconds += sched_seconds
-            trace.critical_path_seconds += sched_seconds
+            # A measuring span replaces the historical ad-hoc clock pair:
+            # its thread-CPU delta (not wall — the sharded engine times
+            # each shard on its own worker thread, where wall time would
+            # also charge the GIL waits of the *other* shards) feeds the
+            # public trace fields, and at spans level it is recorded too.
+            with phase(
+                obs, "epoch.schedule", measure=True, engine="epoch", epoch=epoch
+            ) as sched_span:
+                planned = scheduler(demand_links, epoch)
+            if sched_span.cpu_s is not None and trace.scheduling_seconds is not None:
+                trace.scheduling_seconds += sched_span.cpu_s
+                trace.critical_path_seconds += sched_span.cpu_s
             if cache is not None and cache.last_decision is not None:
                 decision = cache.last_decision
                 cache_hit = decision.hit
                 patched = decision.patched
                 drift = decision.drift if math.isfinite(decision.drift) else 0.0
             schedule_length = planned.schedule.length
-            overhead_slots, control_slots = priced_overhead_slots(
-                planned.overhead_seconds, ledger, epoch, cfg
-            )
+            with phase(obs, "epoch.control", engine="epoch", epoch=epoch):
+                overhead_slots, control_slots = priced_overhead_slots(
+                    planned.overhead_seconds, ledger, epoch, cfg
+                )
             # Only the first T - overhead slots can ever play (the cyclic
             # index stays below the window when the schedule is longer), so
             # don't materialize arrays for the unplayable tail.
             playable = T - overhead_slots
             slot_links = [s.as_array() for s in planned.schedule.slots[:playable]]
-            served = play_schedule(queues, slot_links, start, T, overhead_slots)
+            with phase(obs, "epoch.serve", engine="epoch", epoch=epoch):
+                served = play_schedule(queues, slot_links, start, T, overhead_slots)
         elif ledger is not None:
             # No demand, hence no scheduler run — but control messages
             # booked to this epoch (e.g. session signaling into an idle
@@ -483,11 +568,13 @@ def run_epochs(
                 ),
             )
         )
+        book_epoch_obs(obs, trace.records[-1], engine="epoch")
         if on_epoch is not None:
             on_epoch(trace.records[-1], queues)
         if trace_diverged(trace, cfg):
             trace.diverged = True
             break
+    finish_run_obs(obs, trace, engine="epoch")
     return trace
 
 

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.obs import phase
 from repro.scheduling.links import LinkSet
 from repro.traffic.generators import TrafficGenerator
 
@@ -321,6 +322,8 @@ class FlowWorkload(TrafficGenerator):
         #: Control ledger for in-band signaling/report pricing, attached by
         #: the engines via :meth:`bind_control` when run with ``control=``.
         self._ledger = None
+        #: Observability handle (repro.obs), attached via :meth:`bind_obs`.
+        self._obs = None
         self.reset()
 
     def bind_control(self, ledger) -> None:
@@ -348,6 +351,19 @@ class FlowWorkload(TrafficGenerator):
         reused workload never keeps charging a previous run's ledger.
         """
         self._ledger = ledger
+
+    def bind_obs(self, obs) -> None:
+        """Attach an observability handle (repro.obs); ``None`` unbinds.
+
+        Once bound, the admission phase of every epoch runs inside an
+        ``admission.decide`` span and books session counters
+        (``admission.offered`` / ``admission.blocked`` /
+        ``admission.signals``).  Observe-only: no decision reads the
+        handle, so instrumented and bare runs stay bit-identical.  Engines
+        rebind per run, and :meth:`reset` unbinds, exactly like
+        :meth:`bind_control`.
+        """
+        self._obs = obs
 
     # -- TrafficGenerator surface ------------------------------------------
 
@@ -378,10 +394,11 @@ class FlowWorkload(TrafficGenerator):
     def reset(self) -> None:
         """Rewind to epoch 0: empty flow table, fresh stats and controller.
 
-        Also unbinds any control ledger — the next run's engine rebinds
-        from its own ``control=`` model.
+        Also unbinds any control ledger and observability handle — the
+        next run's engine rebinds from its own ``control=`` / ``obs=``.
         """
         self._ledger = None
+        self._obs = None
         self._next_epoch = 0
         self._epoch_slots: int | None = None
         self._observed = False
@@ -439,17 +456,27 @@ class FlowWorkload(TrafficGenerator):
         #    randomness for retries, so the arrival stream stays a pure
         #    function of the seed whatever the controller decides.
         self._signals = 0  # admit/deny + throttle messages booked this epoch
-        due = [entry for entry in self._retries if entry[0] <= epoch]
-        if due:
-            self._retries = [e for e in self._retries if e[0] > epoch]
-            for _due_epoch, attempts, flow in due:
-                self.retries_attempted += 1
-                self._offer(flow, epoch, attempts)
-        n_new = int(rng.poisson(cfg.session_rate))
-        for _ in range(n_new):
-            flow = self._draw_flow(rng, epoch)
-            self.sessions_offered += 1
-            self._offer(flow, epoch, 0)
+        offered_before = self.sessions_offered + self.retries_attempted
+        blocked_before = self.sessions_blocked
+        with phase(self._obs, "admission.decide", epoch=epoch):
+            due = [entry for entry in self._retries if entry[0] <= epoch]
+            if due:
+                self._retries = [e for e in self._retries if e[0] > epoch]
+                for _due_epoch, attempts, flow in due:
+                    self.retries_attempted += 1
+                    self._offer(flow, epoch, attempts)
+            n_new = int(rng.poisson(cfg.session_rate))
+            for _ in range(n_new):
+                flow = self._draw_flow(rng, epoch)
+                self.sessions_offered += 1
+                self._offer(flow, epoch, 0)
+        if self._obs is not None:
+            offered = self.sessions_offered + self.retries_attempted - offered_before
+            if offered:
+                self._obs.counter("admission.offered", offered)
+            blocked = self.sessions_blocked - blocked_before
+            if blocked:
+                self._obs.counter("admission.blocked", blocked)
 
         # 2. Token-bucket policed emission, throttled per flow.
         counts = np.zeros(self.n_nodes, dtype=np.int64)
@@ -490,12 +517,11 @@ class FlowWorkload(TrafficGenerator):
                 still_active.append(flow)
         self.active = still_active
         self.packets_emitted += int(counts.sum())
-        if (
-            self._ledger is not None
-            and self._signals
-            and self._controller_intervenes
-        ):
-            self._ledger.charge(epoch, "admission", "signal", self._signals)
+        if self._signals and self._controller_intervenes:
+            if self._ledger is not None:
+                self._ledger.charge(epoch, "admission", "signal", self._signals)
+            if self._obs is not None:
+                self._obs.counter("admission.signals", self._signals)
         return counts
 
     def observe(self, record, queues) -> None:

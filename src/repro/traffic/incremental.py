@@ -46,6 +46,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import phase
 from repro.phy.interference import PhysicalInterferenceModel
 from repro.scheduling.feasibility import SlotState
 from repro.scheduling.links import LinkSet
@@ -294,6 +295,8 @@ class ScheduleCache:
         self._baseline: np.ndarray | None = None
         self._ledger = None
         self._depths: np.ndarray | None = None
+        self._obs = None
+        self._obs_labels: dict = {}
         self.last_decision: CacheDecision | None = None
         self.stats = CacheStats()
 
@@ -322,6 +325,19 @@ class ScheduleCache:
             else np.asarray(depths, dtype=np.int64)
         )
 
+    def bind_obs(self, obs, **labels) -> None:
+        """Attach an observability handle (repro.obs); ``None`` unbinds.
+
+        Once bound, every request books ``cache.requests`` plus one of
+        ``cache.hits`` / ``cache.patches`` / ``cache.recomputes`` under the
+        given labels (the sharded engine labels per shard), and patch
+        repairs run inside an ``incremental.patch`` span.  Observe-only —
+        the cache's decisions never depend on the handle — and rebound by
+        the engines on every run, like :meth:`bind_control`.
+        """
+        self._obs = obs
+        self._obs_labels = labels
+
     def invalidate(self) -> None:
         """Forget the cached schedule (the next call recomputes)."""
         self._cached = None
@@ -338,6 +354,11 @@ class ScheduleCache:
         headroom = self._epoch_slots / self._cached.schedule.length
         return self.drift_threshold * max(1.0, headroom)
 
+    def _book(self, outcome: str) -> None:
+        if self._obs is not None:
+            self._obs.counter("cache.requests", 1, **self._obs_labels)
+            self._obs.counter(f"cache.{outcome}", 1, **self._obs_labels)
+
     def __call__(self, links: LinkSet, epoch: int) -> EpochSchedule:
         snapshot = np.array(links.demand, dtype=np.int64, copy=True)
         self.stats.requests += 1
@@ -351,17 +372,21 @@ class ScheduleCache:
             drift = self._drift(snapshot, self._baseline)
             if drift <= self.effective_threshold():
                 self.stats.hits += 1
+                self._book("hits")
                 self.last_decision = CacheDecision(
                     epoch=epoch, drift=drift, hit=True, patched=False, recomputed=False
                 )
                 return EpochSchedule(self._cached.schedule, overhead_seconds=0.0)
             if self.policy == "patch":
-                patched = patch_schedule(
-                    self._cached.schedule,
-                    links,
-                    self._model,
-                    max_length=self._epoch_slots,
-                )
+                with phase(
+                    self._obs, "incremental.patch", epoch=epoch, **self._obs_labels
+                ):
+                    patched = patch_schedule(
+                        self._cached.schedule,
+                        links,
+                        self._model,
+                        max_length=self._epoch_slots,
+                    )
                 if patched is not None:
                     planned = EpochSchedule(patched, overhead_seconds=0.0)
                     if self._ledger is not None:
@@ -381,6 +406,7 @@ class ScheduleCache:
                     self._cached = planned
                     self._baseline = snapshot
                     self.stats.patches += 1
+                    self._book("patches")
                     self.last_decision = CacheDecision(
                         epoch=epoch,
                         drift=drift,
@@ -396,6 +422,7 @@ class ScheduleCache:
         self._cached = planned
         self._baseline = snapshot
         self.stats.recomputes += 1
+        self._book("recomputes")
         self.last_decision = CacheDecision(
             epoch=epoch, drift=drift, hit=False, patched=False, recomputed=True
         )

@@ -33,10 +33,20 @@ class LinkQueues:
         A *forest* link set (one link per head node): relaying needs the
         unique next link up the tree, which is looked up through
         ``links.link_of_head``.
+    delivery_stream:
+        Optional O(1) streaming sink (:class:`~repro.obs.DeliveryStream`)
+        for delivered packets.  When given, deliveries are recorded as
+        ``stream.record(delay, source_link)`` **instead of** appending to
+        the ``delays``/``births``/``sources`` logs, which then stay empty —
+        the memory trade behind ``ObsConfig.stream_deliveries``.  Consumers
+        that need the exact logs (per-flow delay attribution, regional
+        delivered-share accounting) must not run in streaming mode; they
+        check :attr:`delivery_stream` and fail loudly.
     """
 
-    def __init__(self, links: LinkSet):
+    def __init__(self, links: LinkSet, delivery_stream=None):
         self.links = links
+        self.delivery_stream = delivery_stream
         n = links.n_links
         self._by_head = links.link_of_head  # raises for non-forest link sets
         # next_link[k]: the link whose head is k's tail, or -1 when the tail
@@ -106,19 +116,28 @@ class LinkQueues:
         for k in ready:
             birth, source = self._pop(int(k))
             moves.append((int(self.next_link[k]), birth, source))
+        stream = self.delivery_stream
         for nxt, birth, source in moves:
             if nxt < 0:
                 self.delivered_total += 1
-                self.delays.append(int(time) - birth + 1)
-                self.births.append(birth)
-                self.sources.append(source)
+                if stream is not None:
+                    stream.record(int(time) - birth + 1, source)
+                else:
+                    self.delays.append(int(time) - birth + 1)
+                    self.births.append(birth)
+                    self.sources.append(source)
             else:
                 self._push(nxt, birth, 1, source)
         self.served_total += len(moves)
         return len(moves)
 
     def delay_array(self) -> np.ndarray:
-        """Delays of all delivered packets so far, in slots."""
+        """Delays of all delivered packets so far, in slots.
+
+        Empty in streaming mode (``delivery_stream`` set) whatever was
+        delivered — the exact per-packet log was deliberately not kept;
+        read the stream's aggregates instead.
+        """
         return np.asarray(self.delays, dtype=np.int64)
 
     def check_conservation(self) -> None:

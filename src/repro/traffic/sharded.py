@@ -45,7 +45,6 @@ its own RNG substream and the superposition is assembled in shard order, so
 from __future__ import annotations
 
 import math
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Callable
@@ -53,6 +52,8 @@ from typing import Callable
 import numpy as np
 
 from repro.core.controlplane import ControlLedger, ControlPlaneModel, forest_depths
+from repro.obs import DeliveryStream, Obs, phase
+from repro.obs import spans as obs_spans
 from repro.phy.interference import PhysicalInterferenceModel
 from repro.scheduling.feasibility import SlotState
 from repro.scheduling.links import LinkSet
@@ -63,6 +64,8 @@ from repro.traffic.epoch import (
     EpochSchedule,
     EpochSchedulerFn,
     TrafficTrace,
+    book_epoch_obs,
+    finish_run_obs,
     play_schedule,
     priced_overhead_slots,
     trace_diverged,
@@ -509,6 +512,7 @@ def run_epochs_sharded(
     max_workers: int = 1,
     on_epoch: Callable[[EpochRecord, LinkQueues], None] | None = None,
     control: ControlPlaneModel | None = None,
+    obs: Obs | None = None,
 ) -> ShardedTrafficTrace:
     """Run the closed traffic loop with per-shard scheduling; return its trace.
 
@@ -576,14 +580,32 @@ def run_epochs_sharded(
             cache.bind_control(
                 ledger, depths[shard.link_indices] if ledger is not None else None
             )
+            cache.bind_obs(obs, engine="sharded", shard=shard.index)
         schedulers.append(scheduler)
         caches.append(cache)
     bind = getattr(generator, "bind_control", None)
     if bind is not None:
         bind(ledger)
+    bind_obs = getattr(generator, "bind_obs", None)
+    if bind_obs is not None:
+        bind_obs(obs)
+    if ledger is not None:
+        ledger.bind_obs(obs)
 
-    queues = LinkQueues(plan.links)
+    stream = None
+    if obs is not None and obs.stream_deliveries:
+        # Region classifier: global link index -> owning shard index, so the
+        # streaming aggregates keep the per-region breakdown the full
+        # delivery log would have supported.
+        owner = np.zeros(plan.links.n_links, dtype=np.intp)
+        for shard in plan.shards:
+            owner[shard.link_indices] = shard.index
+        stream = DeliveryStream(classify=lambda source: f"shard{owner[source]}")
+    queues = LinkQueues(plan.links, delivery_stream=stream)
     trace = ShardedTrafficTrace(config=cfg, queues=queues, plan=plan, ledger=ledger)
+    if obs_spans.CPU_CLOCK is not None:
+        trace.scheduling_seconds = 0.0
+        trace.critical_path_seconds = 0.0
     T = cfg.epoch_slots
     executor = ThreadPoolExecutor(max_workers=max_workers) if max_workers > 1 else None
     # Reconciled-round memo: when every asked shard answers from its cache,
@@ -595,7 +617,8 @@ def run_epochs_sharded(
     try:
         for epoch in range(cfg.n_epochs):
             start = epoch * T
-            arrived = queues.arrive(generator.arrivals(epoch, T), start)
+            with phase(obs, "epoch.arrivals", engine="sharded", epoch=epoch):
+                arrived = queues.arrive(generator.arrivals(epoch, T), start)
 
             snapshot = queues.backlog.copy()
             if cfg.demand_cap is not None:
@@ -615,16 +638,24 @@ def run_epochs_sharded(
                     s for s in plan.shards if snapshot[s.link_indices].sum() > 0
                 ]
 
-                def run_shard(shard: LinkShard) -> tuple[EpochSchedule, float]:
+                def run_shard(shard: LinkShard) -> tuple[EpochSchedule, float | None]:
                     demand_links = replace(
                         shard.links, demand=snapshot[shard.link_indices]
                     )
                     # Per-thread CPU time: what this shard's controller
                     # computed, independent of how many sibling shards were
-                    # time-slicing the same simulation host.
-                    started = time.thread_time()
-                    result = schedulers[shard.index](demand_links, epoch)
-                    return result, time.thread_time() - started
+                    # time-slicing the same simulation host.  The span runs
+                    # on the worker thread, so its CPU clock is the shard's.
+                    with phase(
+                        obs,
+                        "sharded.schedule",
+                        measure=True,
+                        engine="sharded",
+                        epoch=epoch,
+                        shard=shard.index,
+                    ) as span:
+                        result = schedulers[shard.index](demand_links, epoch)
+                    return result, span.cpu_s
 
                 if executor is not None:
                     timed = list(executor.map(run_shard, asked))
@@ -635,8 +666,10 @@ def run_epochs_sharded(
                 # of the epoch's scheduling phase when every region runs on
                 # its own controller (how a federated deployment, or a
                 # multi-worker host, actually experiences it).
-                trace.scheduling_seconds += sum(sec for _, sec in timed)
-                trace.critical_path_seconds += max(sec for _, sec in timed)
+                secs = [sec for _, sec in timed if sec is not None]
+                if secs and trace.scheduling_seconds is not None:
+                    trace.scheduling_seconds += sum(secs)
+                    trace.critical_path_seconds += max(secs)
 
                 decisions = [
                     caches[s.index].last_decision
@@ -702,9 +735,12 @@ def run_epochs_sharded(
                     # protocol.  The 1-shard (monolithic-equivalent) plan is
                     # the only one served verbatim.
                     if plan.n_shards > 1:
-                        combined, reconciled = reconcile_round(
-                            combined, plan.links, model
-                        )
+                        with phase(
+                            obs, "sharded.reconcile", engine="sharded", epoch=epoch
+                        ):
+                            combined, reconciled = reconcile_round(
+                                combined, plan.links, model
+                            )
                         if ledger is not None:
                             # Boundary reports: every demanded boundary link
                             # of an asked shard tells the reconciler what its
@@ -731,13 +767,15 @@ def run_epochs_sharded(
                 # control messages serialize on shared air, so they ride the
                 # critical path on top of the slowest shard.
                 overhead_seconds = max(p.overhead_seconds for p in planned)
-                overhead_slots, control_slots = priced_overhead_slots(
-                    overhead_seconds, ledger, epoch, cfg
-                )
+                with phase(obs, "epoch.control", engine="sharded", epoch=epoch):
+                    overhead_slots, control_slots = priced_overhead_slots(
+                        overhead_seconds, ledger, epoch, cfg
+                    )
                 playable = T - overhead_slots
-                served = play_schedule(
-                    queues, combined[:playable], start, T, overhead_slots
-                )
+                with phase(obs, "epoch.serve", engine="sharded", epoch=epoch):
+                    served = play_schedule(
+                        queues, combined[:playable], start, T, overhead_slots
+                    )
             elif ledger is not None:
                 # No demand, no shard asked — but booked control messages
                 # (e.g. session signaling into an idle mesh) still cost air.
@@ -766,6 +804,7 @@ def run_epochs_sharded(
                     reconciled=reconciled,
                 )
             )
+            book_epoch_obs(obs, trace.records[-1], engine="sharded")
             if on_epoch is not None:
                 on_epoch(trace.records[-1], queues)
             if trace_diverged(trace, cfg):
@@ -774,4 +813,5 @@ def run_epochs_sharded(
     finally:
         if executor is not None:
             executor.shutdown(wait=False)
+    finish_run_obs(obs, trace, engine="sharded")
     return trace

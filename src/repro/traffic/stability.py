@@ -211,6 +211,16 @@ def summarize_trace(
     delays = (
         trace.queues.delay_array() if trace.queues is not None else np.empty(0, np.int64)
     )
+    mean_delay = float(delays.mean()) if delays.size else float("nan")
+    p99_delay = float(np.percentile(delays, 99)) if delays.size else float("nan")
+    if not delays.size and trace.queues is not None:
+        # Streaming-deliveries mode (ObsConfig.stream_deliveries): the full
+        # delivery log was never retained, but the O(1) stream carries the
+        # same aggregates — mean exactly, p99 as a P² estimate.
+        stream = getattr(trace.queues, "delivery_stream", None)
+        if stream is not None and stream.count:
+            mean_delay = stream.mean
+            p99_delay = stream.quantile(0.99)
     throughput = trace.delivered_total / slots
     blocking = float("nan")
     goodput = float("nan")
@@ -228,8 +238,8 @@ def summarize_trace(
     return StabilityMetrics(
         offered_rate=float(offered_rate),
         throughput=throughput,
-        mean_delay=float(delays.mean()) if delays.size else float("nan"),
-        p99_delay=float(np.percentile(delays, 99)) if delays.size else float("nan"),
+        mean_delay=mean_delay,
+        p99_delay=p99_delay,
         backlog_final=trace.records[-1].backlog_end if trace.records else 0,
         backlog_slope=backlog_slope(trace),
         stable=is_stable(trace, tolerance),
