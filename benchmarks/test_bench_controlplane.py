@@ -50,8 +50,13 @@ def test_control_plane_pricing_preserves_the_headlines(
 
     policies = bench_profile.controlplane_policies
     cached = [p for p in policies if p != "always"]
-    # Per headline: E8 = policies x variants + advantage rows; E9 + E10 = 2 each.
-    assert table.n_rows == len(policies) * 2 + len(cached) * 2 + 2 + 2
+    factors = bench_profile.controlplane_scale_factors
+    # Per headline: E8 = policies x variants + advantage rows; E9 + E10 = 2
+    # each; price-scale sweep = 2 policies x factors + advantage per factor
+    # + the flip row.
+    assert table.n_rows == (
+        len(policies) * 2 + len(cached) * 2 + 2 + 2 + 3 * len(factors) + 1
+    )
     rows = _rows(table)
 
     lam = f"λ={bench_profile.controlplane_lambda:g}"
@@ -100,6 +105,32 @@ def test_control_plane_pricing_preserves_the_headlines(
 
     # --- Always-reschedule has no patching control plane: nothing booked.
     assert int(e8("priced", "always")[MSGS]) == 0
+
+    # --- The price-scale sweep: patching's advantage decays monotonically
+    # as messages get dearer, matches the honest-price advantage at 1x, and
+    # the flip row reports where (or whether) it inverted in the sweep.
+    ratios = [
+        float(rows[("E8 price scale", f"{f:g}x", "always/patch advantage")][
+            OVERHEAD
+        ].rstrip("x"))
+        for f in sorted(factors)
+    ]
+    assert all(a >= b for a, b in zip(ratios, ratios[1:])), (
+        f"the always/patch advantage should be non-increasing in the price "
+        f"scale, got {ratios}"
+    )
+    if 1.0 in factors:
+        priced_advantage = float(
+            rows[("E8 incremental", "priced", "always/patch advantage")][
+                OVERHEAD
+            ].rstrip("x")
+        )
+        assert ratios[0] == priced_advantage
+    flip = rows[("E8 price scale", "flip", "advantage < 1 at")][OVERHEAD]
+    if ratios[-1] < 1.0:
+        assert flip.endswith("x prices")
+    else:
+        assert flip == "none swept"
 
     # --- E10: the knee tracker still controls under honest pricing.
     priced_e10 = rows[("E10 admission", "priced", tracker_op)]

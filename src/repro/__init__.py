@@ -30,6 +30,7 @@ harnesses; measured tables live under benchmarks/results/).
 
 from repro.phy import (
     RadioConfig,
+    RateTable,
     LogDistancePathLoss,
     LogNormalShadowing,
     FreeSpace,
@@ -58,6 +59,8 @@ from repro.scheduling import (
     Schedule,
     Slot,
     greedy_physical,
+    greedy_rate,
+    standalone_rates,
     linear_schedule,
     improvement_over_linear,
     verify_schedule,
@@ -102,6 +105,8 @@ from repro.traffic import (
     serialized_scheduler,
     centralized_scheduler,
     distributed_scheduler,
+    rate_aware_scheduler,
+    RateAnnotator,
     ShardPlan,
     ShardedTrafficTrace,
     partition_links,
@@ -130,6 +135,7 @@ __version__ = "1.0.0"
 __all__ = [
     # phy
     "RadioConfig",
+    "RateTable",
     "LogDistancePathLoss",
     "LogNormalShadowing",
     "FreeSpace",
@@ -155,6 +161,8 @@ __all__ = [
     "Schedule",
     "Slot",
     "greedy_physical",
+    "greedy_rate",
+    "standalone_rates",
     "linear_schedule",
     "improvement_over_linear",
     "verify_schedule",
@@ -197,6 +205,8 @@ __all__ = [
     "serialized_scheduler",
     "centralized_scheduler",
     "distributed_scheduler",
+    "rate_aware_scheduler",
+    "RateAnnotator",
     "ShardPlan",
     "ShardedTrafficTrace",
     "partition_links",

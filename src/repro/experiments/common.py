@@ -106,6 +106,27 @@ class ExperimentProfile:
     controlplane_lambda: float = 0.0145
     controlplane_policies: tuple[str, ...] = ("always", "patch")
     controlplane_admission_factor: float = 2.0
+    #: E12 adaptive multi-rate links (repro.phy.radio.RateTable): the MCS
+    #: ladder swept against the seed's fixed-rate contract.  The defaults —
+    #: 3 tiers, x2 SINR and x2 rate per tier, 1 dB hysteresis margin — are
+    #: calibrated to the 8x8 grid at density 1000/km^2, where standalone
+    #: link margins span ~1.2-3.4x beta: tiers at beta/2beta/4beta give
+    #: ~45% of links one tier of headroom while the classic 6 dB ladder
+    #: would never engage.  The lambda sweep brackets E7's fixed-rate FDD
+    #: knee (0.019) from below and above so the knee *shift* is visible.
+    multirate_lambdas: tuple[float, ...] = (0.0145, 0.019, 0.0265, 0.034)
+    multirate_epochs: int = 10
+    multirate_tiers: int = 3
+    multirate_sinr_step: float = 2.0
+    multirate_rate_step: float = 2.0
+    multirate_hysteresis: float = 1.25
+    #: E11 sensitivity satellite: factors applied via ControlPlaneModel.scaled
+    #: to the E8-revisit pricing, looking for where patching's amortized
+    #: overhead win flips sign.  Honest prices are milliseconds of air per
+    #: epoch against 40 ms slots, so the flip only appears around three
+    #: orders of magnitude above them (~2-8192x the 8-byte patch payload,
+    #: i.e. ~16-64 kB per delta) — the sweep brackets it.
+    controlplane_scale_factors: tuple[float, ...] = (1.0, 256.0, 2048.0, 8192.0)
     #: Observability (repro.obs): instrumentation level for the engine runs
     #: an experiment performs ("off" | "metrics" | "spans") and, when set,
     #: the directory its JSONL run file (``<experiment>.jsonl``) is written
@@ -137,6 +158,9 @@ QUICK = ExperimentProfile(
     admission_load_factors=(1.0, 2.0),
     admission_epochs=8,
     controlplane_lambda=0.006,
+    multirate_lambdas=(0.006, 0.019, 0.0265),
+    multirate_epochs=5,
+    controlplane_scale_factors=(1.0, 1024.0, 4096.0),
 )
 
 #: The paper's protocol constants (Section VI-A).

@@ -112,6 +112,7 @@ def controlplane_experiment(profile: ExperimentProfile) -> TextTable:
     _e8_rows(profile, table, obs)
     _e9_rows(profile, table, obs)
     _e10_rows(profile, table, obs)
+    _price_scale_rows(profile, table, obs)
     finish_obs(obs)
     return table
 
@@ -199,6 +200,95 @@ def _e8_rows(profile: ExperimentProfile, table: TextTable, obs=None) -> None:
                     "-",
                     "-",
                 )
+
+
+def _price_scale_rows(profile: ExperimentProfile, table: TextTable, obs=None) -> None:
+    """Price-sensitivity sweep: where does the E8 amortization win flip?
+
+    The honest default prices leave patching's advantage nearly intact, but
+    the advantage cannot be unconditional: every patch delta pays
+    ``patch_bytes x forest depth`` in air, so at *some* price the announced
+    repairs cost more slots than the re-runs they avoid.  This sweep scales
+    every message class by ``profile.controlplane_scale_factors`` (via
+    :meth:`ControlPlaneModel.scaled` — e.g. 64x the 8-byte default models
+    a ~0.5 kB signed/authenticated patch bundle) and reports the
+    always/patch amortized-overhead ratio at each price point, plus the
+    first factor — if the sweep reaches it — where the ratio drops below
+    1 (patching now *costs* overhead).  Always-reschedule books no patch
+    messages, so its overhead is price-invariant and each ratio isolates
+    the patch channel's cost.
+    """
+    network, gateways, links = _grid_mesh(profile)
+    rate = profile.controlplane_lambda
+    base_config = EpochConfig(
+        epoch_slots=profile.traffic_epoch_slots,
+        n_epochs=profile.traffic_epochs,
+        slot_seconds=profile.traffic_slot_seconds,
+        divergence_factor=4.0,
+        drift_threshold=profile.traffic_drift_threshold,
+    )
+    amortized: dict[tuple[str, float], float] = {}
+    for policy in ("always", "patch"):
+        config = replace(base_config, reschedule_policy=policy)
+        for factor in profile.controlplane_scale_factors:
+            scheduler = distributed_scheduler(
+                network,
+                fdd_on_network,
+                config=PAPER_PROTOCOL,
+                seed=spawn(profile.seed, "traffic-fdd"),
+            )
+            trace = run_epochs(
+                links,
+                _generator(profile, network, gateways, rate, 0),
+                scheduler,
+                config,
+                model=network.model,
+                control=control_model(profile).scaled(factor),
+                obs=obs,
+            )
+            point = summarize_trace(trace, rate)
+            amortized[(policy, factor)] = point.overhead_slots
+            _add_row(
+                table,
+                "E8 price scale",
+                f"{factor:g}x",
+                f"{policy} λ={rate:g}",
+                point,
+                trace,
+            )
+    flip: float | None = None
+    for factor in sorted(profile.controlplane_scale_factors):
+        ratio = amortized[("always", factor)] / max(
+            amortized[("patch", factor)], 1e-9
+        )
+        table.add_row(
+            "E8 price scale",
+            f"{factor:g}x",
+            "always/patch advantage",
+            "-",
+            f"{ratio:.1f}x",
+            "-",
+            "-",
+            "-",
+            "-",
+            "-",
+            "-",
+        )
+        if flip is None and ratio < 1.0:
+            flip = factor
+    table.add_row(
+        "E8 price scale",
+        "flip",
+        "advantage < 1 at",
+        "-",
+        "none swept" if flip is None else f"{flip:g}x prices",
+        "-",
+        "-",
+        "-",
+        "-",
+        "-",
+        "-",
+    )
 
 
 def _e9_rows(profile: ExperimentProfile, table: TextTable, obs=None) -> None:

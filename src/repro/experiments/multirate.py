@@ -1,0 +1,173 @@
+"""E12 — adaptive multi-rate links: fixed-rate FDD vs rate-aware scheduling.
+
+The seed's serving contract is binary: a scheduled membership forwards one
+packet per played slot, whatever SINR headroom the link actually has.  E12
+prices that idealization on the paper's 8x8 planned grid by sweeping the
+heavy-traffic stability axis (E7) under three contracts:
+
+* **FDD fixed-rate** — the seed baseline: the overhead-priced distributed
+  protocol, one packet per play.
+* **FDD multi-rate** — the *same* FDD memberships, but serving grants each
+  played link the packets of its SINR-selected MCS tier
+  (``EpochConfig.rate_table``): the serving-layer gain alone, with schedule
+  computation untouched.
+* **GreedyRate multi-rate** — rate-aware scheduling end to end
+  (:func:`repro.scheduling.greedy_rate.greedy_rate`): slots packed to
+  maximize total packets per slot and demand matched in packets, served
+  under the same table.  Run as a free centralized oracle, the multi-rate
+  analogue of E7's GreedyPhysical row.
+
+The headline is the **knee shift**: how far up the arrival-rate axis the
+stability knee moves when link-rate headroom is exploited.  The MCS ladder
+comes from the profile's ``multirate_*`` knobs (see
+:class:`~repro.experiments.common.ExperimentProfile` for the grid
+calibration behind the defaults).
+
+Recorded idealization: tier selection is *instantaneous and free* — the
+annotator reads each slot's concurrent SINR directly, with hysteresis as
+the only adaptation friction.  A real radio probes its way up the ladder
+over many packets; E12's multi-rate rows are therefore upper bounds on the
+adaptation gain, the same way E7's GreedyPhysical row upper-bounds
+centralized scheduling (see DESIGN.md §12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis.tables import TextTable
+from repro.core.fdd import fdd_on_network
+from repro.experiments.common import (
+    PAPER_PROTOCOL,
+    ExperimentProfile,
+    finish_obs,
+    obs_for,
+)
+from repro.experiments.heavy_traffic import _generator, _grid_mesh
+from repro.phy.radio import RateTable
+from repro.traffic import (
+    EpochConfig,
+    TrafficTrace,
+    distributed_scheduler,
+    rate_aware_scheduler,
+    run_epochs,
+    stability_knee,
+    stability_sweep,
+)
+from repro.util.rng import spawn
+
+
+def profile_rate_table(profile: ExperimentProfile, beta: float) -> RateTable:
+    """The MCS ladder E12 sweeps, from the profile's ``multirate_*`` knobs."""
+    return RateTable.geometric(
+        beta,
+        n_tiers=profile.multirate_tiers,
+        sinr_step=profile.multirate_sinr_step,
+        rate_step=profile.multirate_rate_step,
+        hysteresis=profile.multirate_hysteresis,
+    )
+
+
+def multirate_experiment(profile: ExperimentProfile) -> TextTable:
+    """E12: stability sweep under fixed-rate vs multi-rate serving contracts."""
+    network, gateways, links = _grid_mesh(profile)
+    table_mcs = profile_rate_table(profile, network.model.radio.beta)
+    obs = obs_for(
+        profile,
+        "multirate",
+        tiers=table_mcs.n_tiers,
+        sinr_step=profile.multirate_sinr_step,
+        rate_step=profile.multirate_rate_step,
+        hysteresis=profile.multirate_hysteresis,
+    )
+    base_config = EpochConfig(
+        epoch_slots=profile.traffic_epoch_slots,
+        n_epochs=profile.multirate_epochs,
+        slot_seconds=profile.traffic_slot_seconds,
+        divergence_factor=4.0,
+    )
+
+    def fdd_scheduler():
+        return distributed_scheduler(
+            network,
+            fdd_on_network,
+            config=PAPER_PROTOCOL,
+            seed=spawn(profile.seed, "traffic-fdd"),
+        )
+
+    variants: list[tuple[str, object, RateTable | None]] = [
+        ("FDD fixed-rate", fdd_scheduler(), None),
+        ("FDD multi-rate", fdd_scheduler(), table_mcs),
+        (
+            "GreedyRate multi-rate",
+            rate_aware_scheduler(network.model, table_mcs),
+            table_mcs,
+        ),
+    ]
+
+    tiers_text = "/".join(
+        f"{r}@{t / network.model.radio.beta:g}b"
+        for t, r in zip(table_mcs.thresholds, table_mcs.rates)
+    )
+    out = TextTable(
+        [
+            "contract",
+            "lambda (pkt/node/slot)",
+            "throughput (pkt/slot)",
+            "service rate (pkt/play)",
+            "mean delay (slots)",
+            "backlog growth (pkt/epoch)",
+            "overhead (slots/epoch)",
+            "stable",
+        ],
+        title="Adaptive multi-rate links — 8x8 planned grid, density "
+        f"{profile.traffic_density:g}/km^2, MCS tiers pkt@SINR {tiers_text} "
+        f"(hysteresis x{profile.multirate_hysteresis:g}), "
+        f"T={profile.traffic_epoch_slots} slots/epoch, borderline verdicts "
+        f"majority-resolved over {profile.traffic_confirm_seeds} seeds",
+    )
+    knees: list[tuple[str, float | None]] = []
+    for name, scheduler, rate_table in variants:
+        config = replace(base_config, rate_table=rate_table)
+
+        def run_at(
+            rate: float, seed_index: int = 0, scheduler=scheduler, config=config
+        ) -> TrafficTrace:
+            generator = _generator(profile, network, gateways, rate, seed_index)
+            return run_epochs(
+                links, generator, scheduler, config, model=network.model, obs=obs
+            )
+
+        points = stability_sweep(
+            profile.multirate_lambdas,
+            run_at,
+            confirm_seeds=profile.traffic_confirm_seeds,
+        )
+        knees.append((name, stability_knee(points)))
+        for point in points:
+            stable = "yes" if point.stable else "NO"
+            if point.confirm_seeds > 1:
+                stable += f" ({point.confirm_seeds}-seed)"
+            out.add_row(
+                name,
+                f"{point.offered_rate:g}",
+                f"{point.throughput:.3f}",
+                f"{point.mean_service_rate:.2f}",
+                f"{point.mean_delay:.1f}",
+                f"{point.backlog_slope:+.1f}",
+                f"{point.overhead_slots:.1f}",
+                stable,
+            )
+    for name, knee in knees:
+        out.add_row(
+            name, "knee", "-", "-", "-", "-", "-", "-" if knee is None else f"{knee:g}"
+        )
+    fixed_knee = knees[0][1]
+    greedy_knee = knees[-1][1]
+    if fixed_knee is not None and greedy_knee is not None and fixed_knee > 0:
+        shift = f"{greedy_knee / fixed_knee:.2f}x ({fixed_knee:g} -> {greedy_knee:g})"
+    else:
+        shift = "n/a"
+    out.add_row("knee shift (greedy/fixed)", shift, "-", "-", "-", "-", "-", "-")
+    finish_obs(obs)
+    return out

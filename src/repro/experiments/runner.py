@@ -26,6 +26,7 @@ from repro.experiments import (
     exec_time,
     heavy_traffic,
     mote_detection,
+    multirate,
     schedule_quality,
     sharded,
     theory,
@@ -68,6 +69,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentProfile], TextTable]]] = {
     "controlplane": (
         "E11 — in-band control-plane pricing across the E8/E9/E10 headlines",
         controlplane.controlplane_experiment,
+    ),
+    "multirate": (
+        "E12 — adaptive multi-rate links: fixed-rate FDD vs rate-aware scheduling",
+        multirate.multirate_experiment,
     ),
     "mote-error": (
         "E1/Fig4 — SCREAM detection error vs SCREAM size (mote testbed)",

@@ -13,9 +13,9 @@ from repro.phy.propagation import (
     LogDistancePathLoss,
     LogNormalShadowing,
 )
-from repro.phy.radio import RadioConfig
+from repro.phy.radio import RadioConfig, RateTable
 from repro.phy.gain import received_power_matrix, gain_matrix
-from repro.phy.sinr import sinr_for_links, min_sinr_margin
+from repro.phy.sinr import sinr_for_links, min_sinr_margin, rates_for_links
 from repro.phy.interference import (
     PhysicalInterferenceModel,
     link_feasible_alone,
@@ -31,10 +31,12 @@ __all__ = [
     "LogDistancePathLoss",
     "LogNormalShadowing",
     "RadioConfig",
+    "RateTable",
     "received_power_matrix",
     "gain_matrix",
     "sinr_for_links",
     "min_sinr_margin",
+    "rates_for_links",
     "PhysicalInterferenceModel",
     "link_feasible_alone",
 ]

@@ -82,6 +82,173 @@ class RadioConfig:
         return replace(self, cs_gamma=cs_gamma)
 
 
+@dataclass(frozen=True)
+class RateTable:
+    """Monotone SINR-threshold -> packets-per-slot MCS tiers, with hysteresis.
+
+    The paper's scheduler treats a link as binary — it clears ``β`` or it
+    doesn't — but a real radio selects a modulation/coding scheme from the
+    SINR it actually achieves, and a link well above threshold carries
+    several packets in the slot a marginal link needs for one (SiNE's
+    adaptive-MCS plan is the implementation template; Zhou et al.'s
+    throughput-maximizing scheduling under physical interference is the
+    theory).  A :class:`RateTable` is the whole contract:
+
+    * ``thresholds[i]`` — minimum SINR (linear ratio) of tier ``i``,
+      strictly increasing; ``thresholds[0]`` plays the role of ``β``.
+    * ``rates[i]`` — packets per slot the tier carries, positive integers,
+      monotone non-decreasing.
+    * ``hysteresis`` — multiplicative margin (>= 1) a link must clear
+      *above* a tier's raw threshold before :meth:`select` upgrades into
+      it; downgrades happen as soon as the raw threshold is lost.  The
+      asymmetry is what keeps a link whose SINR sits on a tier edge from
+      flapping between tiers on noise (see the property tests).
+
+    The **degenerate** single-tier table ``degenerate(beta)`` — threshold
+    ``β``, rate 1 — reproduces the bool feasibility contract exactly:
+    every scheduled link serves one packet per slot, whatever its SINR
+    headroom.  The differential suite pins engines run under it
+    bit-identical to the table-less seed behaviour.
+
+    SINR below ``thresholds[0]`` maps to tier ``-1`` (no decode, rate 0)
+    in the stateless lookups; serving paths that already established slot
+    membership clamp to tier 0 instead — the membership contract
+    guarantees the base MCS (see
+    :meth:`~repro.phy.interference.PhysicalInterferenceModel.link_tiers`).
+    """
+
+    thresholds: np.ndarray
+    rates: np.ndarray
+    hysteresis: float = 1.0
+
+    def __post_init__(self) -> None:
+        thresholds = np.asarray(self.thresholds, dtype=float)
+        rates = np.asarray(self.rates, dtype=np.int64)
+        if thresholds.ndim != 1 or thresholds.size == 0:
+            raise ValueError("thresholds must be a non-empty 1-D array")
+        if thresholds.shape != rates.shape:
+            raise ValueError("thresholds and rates must share one shape")
+        if np.any(thresholds <= 0):
+            raise ValueError("SINR thresholds must be positive")
+        if np.any(np.diff(thresholds) <= 0):
+            raise ValueError("SINR thresholds must be strictly increasing")
+        if np.any(rates <= 0):
+            raise ValueError("tier rates must be positive (packets per slot)")
+        if np.any(np.diff(rates) < 0):
+            raise ValueError("tier rates must be monotone non-decreasing")
+        check_positive("hysteresis", self.hysteresis)
+        if self.hysteresis < 1.0:
+            raise ValueError(
+                f"hysteresis must be >= 1 (a sub-unity margin would upgrade "
+                f"below the tier's own threshold), got {self.hysteresis}"
+            )
+        object.__setattr__(self, "thresholds", thresholds)
+        object.__setattr__(self, "rates", rates)
+
+    @classmethod
+    def degenerate(cls, beta: float) -> "RateTable":
+        """The single-tier table reproducing the bool ``SINR >= β`` contract."""
+        return cls(thresholds=np.array([beta]), rates=np.array([1]))
+
+    @classmethod
+    def geometric(
+        cls,
+        beta: float,
+        n_tiers: int = 3,
+        sinr_step: float = 2.0,
+        rate_step: float = 2.0,
+        hysteresis: float = 1.0,
+    ) -> "RateTable":
+        """Geometric MCS ladder: thresholds ``β·sinr_step^i``, rates
+        ``~rate_step^i``.
+
+        The default (3 tiers, x2 SINR per tier, x2 rate per tier — tiers
+        at ``β, 2β, 4β`` carrying 1, 2, 4 packets per slot) is the 3
+        dB-per-doubling ladder of coding-rate steps, calibrated to the
+        paper's 8x8 grid where standalone link margins reach ~2-3x ``β``:
+        the x4-per-tier (6 dB, constellation-doubling) ladder would never
+        engage there.  Callers model a specific radio by passing its own
+        thresholds to the constructor instead.
+        """
+        if n_tiers <= 0:
+            raise ValueError(f"n_tiers must be positive, got {n_tiers}")
+        if sinr_step <= 1.0 or rate_step < 1.0:
+            raise ValueError("sinr_step must exceed 1 and rate_step be >= 1")
+        exponents = np.arange(n_tiers)
+        return cls(
+            thresholds=beta * sinr_step**exponents,
+            rates=np.maximum(1, np.round(rate_step**exponents)).astype(np.int64),
+            hysteresis=hysteresis,
+        )
+
+    @property
+    def n_tiers(self) -> int:
+        return int(self.thresholds.shape[0])
+
+    @property
+    def base_rate(self) -> int:
+        """Packets per slot of the lowest tier (1 for the degenerate table)."""
+        return int(self.rates[0])
+
+    @property
+    def is_degenerate(self) -> bool:
+        """Single tier at rate 1: the bool-feasibility contract."""
+        return self.n_tiers == 1 and self.base_rate == 1
+
+    @property
+    def beta(self) -> float:
+        """The base decode threshold (tier 0's SINR requirement)."""
+        return float(self.thresholds[0])
+
+    def tier_for(self, sinr: np.ndarray) -> np.ndarray:
+        """Stateless tier per SINR value: highest tier whose threshold is
+        cleared, ``-1`` below tier 0 (no decode).
+
+        Vectorized as a single ``searchsorted`` over the (sorted)
+        threshold array — the lookup rides the per-link SINR array the
+        feasibility paths already compute.
+        """
+        values = np.asarray(sinr, dtype=float)
+        return np.searchsorted(self.thresholds, values, side="right") - 1
+
+    def rate_for(self, sinr: np.ndarray) -> np.ndarray:
+        """Stateless achievable rate per SINR value (0 below tier 0)."""
+        tiers = self.tier_for(sinr)
+        rates = np.where(tiers >= 0, self.rates[np.maximum(tiers, 0)], 0)
+        return rates.astype(np.int64)
+
+    def select(self, sinr: np.ndarray, prev_tier: np.ndarray) -> np.ndarray:
+        """Hysteresis-aware tier (re)selection.
+
+        ``prev_tier[k] < 0`` means no prior selection for entry ``k``: the
+        stateless :meth:`tier_for` answer is used.  Otherwise upgrades
+        from ``prev_tier`` stop at the highest tier whose threshold is
+        cleared with the full ``hysteresis`` margin (never exceeding the
+        raw-threshold tier, never dropping below ``prev``), while
+        downgrades snap straight to the stateless tier — losing a tier's
+        raw threshold demotes immediately, reclaiming it requires margin.
+        With ``hysteresis == 1`` this degenerates to :meth:`tier_for`.
+
+        For a *fixed* SINR the map is idempotent — ``select(s,
+        select(s, t)) == select(s, t)`` — so a link whose SINR sits inside
+        one band can never oscillate between tiers (property-tested).
+        """
+        values = np.asarray(sinr, dtype=float)
+        prev = np.asarray(prev_tier, dtype=np.int64)
+        if values.shape != prev.shape:
+            raise ValueError("sinr and prev_tier must share one shape")
+        raw = self.tier_for(values)
+        if self.hysteresis == 1.0:
+            return raw.astype(np.int64)
+        margin = (
+            np.searchsorted(self.thresholds * self.hysteresis, values, side="right")
+            - 1
+        )
+        # Upgrade: at most the margin-cleared tier, at least where we were.
+        upgraded = np.minimum(raw, np.maximum(margin, prev))
+        return np.where((prev >= 0) & (raw > prev), upgraded, raw).astype(np.int64)
+
+
 def uniform_tx_power(n: int, power_dbm: float = 12.0) -> np.ndarray:
     """Homogeneous transmit power vector (mW) for ``n`` nodes."""
     if n <= 0:

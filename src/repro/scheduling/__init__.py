@@ -9,7 +9,11 @@ schedule-length figures.
 
 from repro.scheduling.links import LinkSet, forest_link_set
 from repro.scheduling.schedule import Schedule, Slot
-from repro.scheduling.feasibility import SlotState, schedule_is_feasible
+from repro.scheduling.feasibility import (
+    SlotState,
+    schedule_is_feasible,
+    schedule_rates,
+)
 from repro.scheduling.orderings import (
     order_by_id,
     order_by_demand,
@@ -18,6 +22,7 @@ from repro.scheduling.orderings import (
     EDGE_ORDERINGS,
 )
 from repro.scheduling.greedy_physical import greedy_physical
+from repro.scheduling.greedy_rate import greedy_rate, standalone_rates
 from repro.scheduling.linear import linear_schedule
 from repro.scheduling.metrics import improvement_over_linear, verify_schedule
 from repro.scheduling.optimal import (
@@ -33,12 +38,15 @@ __all__ = [
     "Slot",
     "SlotState",
     "schedule_is_feasible",
+    "schedule_rates",
     "order_by_id",
     "order_by_demand",
     "order_by_length",
     "order_by_interference_number",
     "EDGE_ORDERINGS",
     "greedy_physical",
+    "greedy_rate",
+    "standalone_rates",
     "linear_schedule",
     "improvement_over_linear",
     "verify_schedule",

@@ -131,6 +131,29 @@ class SlotState:
             return True
         return self._model.is_feasible(snd, rcv)
 
+    def member_tiers(self, table) -> np.ndarray:
+        """Per-member MCS tier (base-tier floor) under a ``RateTable``.
+
+        Member order matches :attr:`senders` — the last entry is the most
+        recently added link, which rate-aware packers use to read the rate
+        actually granted to an insertion.
+        """
+        snd, rcv = self.members()
+        if snd.size == 0:
+            return np.empty(0, dtype=np.int64)
+        return self._model.link_tiers(snd, rcv, table)
+
+    def member_rates(self, table) -> np.ndarray:
+        """Per-member packets-per-slot under a ``RateTable`` (>= base rate)."""
+        snd, rcv = self.members()
+        if snd.size == 0:
+            return np.empty(0, dtype=np.int64)
+        return self._model.link_rates(snd, rcv, table)
+
+    def rate_sum(self, table) -> int:
+        """Total packets per slot the current member set carries."""
+        return int(self.member_rates(table).sum())
+
 
 def schedule_is_feasible(
     schedule: Schedule, model: PhysicalInterferenceModel
@@ -141,3 +164,21 @@ def schedule_is_feasible(
         if snd.size and not model.is_feasible(snd, rcv):
             return False
     return True
+
+
+def schedule_rates(
+    schedule: Schedule, model: PhysicalInterferenceModel, table
+) -> list[np.ndarray]:
+    """Per-slot packets-per-slot arrays (member order) under a ``RateTable``.
+
+    Stateless — no hysteresis; the epoch engines carry selection state in
+    :class:`repro.traffic.epoch.RateAnnotator` instead.
+    """
+    rates = []
+    for t in range(schedule.length):
+        snd, rcv = schedule.slot_members(t)
+        if snd.size == 0:
+            rates.append(np.empty(0, dtype=np.int64))
+        else:
+            rates.append(model.link_rates(snd, rcv, table))
+    return rates

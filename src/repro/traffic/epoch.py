@@ -43,7 +43,9 @@ from repro.core.timing import TimingModel
 from repro.obs import DeliveryStream, Obs, phase
 from repro.obs import spans as obs_spans
 from repro.phy.interference import PhysicalInterferenceModel
+from repro.phy.radio import RateTable
 from repro.scheduling.greedy_physical import greedy_physical
+from repro.scheduling.greedy_rate import greedy_rate
 from repro.scheduling.linear import linear_schedule
 from repro.scheduling.links import LinkSet
 from repro.scheduling.schedule import Schedule
@@ -106,6 +108,15 @@ class EpochConfig:
     drift_metric:
         ``"l1"`` or ``"linf"`` — see
         :data:`repro.traffic.incremental.DRIFT_METRICS`.
+    rate_table:
+        Optional :class:`~repro.phy.radio.RateTable` switching the serving
+        contract from fixed-rate (every scheduled membership forwards one
+        packet) to multi-rate: each played membership forwards the packets
+        of its SINR-selected MCS tier, with hysteresis damping tier churn
+        across epochs (see :class:`RateAnnotator`).  Requires ``model`` to
+        be passed to the run.  ``None`` (the default) and the degenerate
+        single-tier table are both bit-identical to the seed fixed-rate
+        behaviour (the multirate differential suite pins the latter).
     """
 
     epoch_slots: int = 300
@@ -116,6 +127,7 @@ class EpochConfig:
     reschedule_policy: str = "always"
     drift_threshold: float | None = None  # None -> DEFAULT_DRIFT_THRESHOLD
     drift_metric: str = "l1"
+    rate_table: RateTable | None = None
 
     def __post_init__(self) -> None:
         if self.epoch_slots <= 0:
@@ -331,27 +343,87 @@ def trace_diverged(trace: TrafficTrace, config: EpochConfig) -> bool:
     )
 
 
+class RateAnnotator:
+    """Per-run MCS selection state for multi-rate serving.
+
+    Owns the hysteresis memory of :meth:`RateTable.select`: for every link
+    it remembers the tier last granted, so a link whose slot SINR hovers on
+    a tier edge cannot flap between tiers from one epoch's round to the
+    next.  :meth:`annotate` turns one round's per-slot link-index arrays
+    into per-slot tier and packets-per-slot arrays, evaluating each slot's
+    concurrent SINR through the bound interference oracle (budgeted on
+    sharded runs — guard budgets therefore cost rate tiers, not just
+    feasibility).
+
+    Tiers are clamped to the base tier: membership was established by the
+    ``SINR >= β`` scheduling contract and the seed serves one packet per
+    play regardless, so under the degenerate table every annotation is rate
+    1 and serving is bit-identical to the fixed-rate path.
+    """
+
+    def __init__(
+        self,
+        links: LinkSet,
+        model: PhysicalInterferenceModel,
+        table: RateTable,
+    ):
+        self.table = table
+        self._model = model
+        self._heads = links.heads
+        self._tails = links.tails
+        self._prev = np.full(links.n_links, -1, dtype=np.int64)
+
+    def annotate(
+        self, slot_links: list[np.ndarray]
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Per-slot (tiers, rates) arrays for one round, updating state."""
+        table = self.table
+        tiers: list[np.ndarray] = []
+        rates: list[np.ndarray] = []
+        for idx in slot_links:
+            if idx.size == 0:
+                t = np.empty(0, dtype=np.int64)
+            else:
+                data, ack = self._model.link_sinrs(
+                    self._heads[idx], self._tails[idx]
+                )
+                selected = table.select(np.minimum(data, ack), self._prev[idx])
+                t = np.maximum(selected, 0)
+                self._prev[idx] = t
+            tiers.append(t)
+            rates.append(table.rates[t])
+        return tiers, rates
+
+
 def play_schedule(
     queues: LinkQueues,
     slot_links: list[np.ndarray],
     start: int,
     epoch_slots: int,
     overhead_slots: int,
+    slot_rates: list[np.ndarray] | None = None,
 ) -> int:
     """Play a schedule cyclically over one epoch's remaining data slots.
 
     The single serving primitive shared by the monolithic loop and the
     sharded engine (:mod:`repro.traffic.sharded`), so the two serve queues
     with identical semantics: slots ``overhead_slots .. epoch_slots - 1``
-    each serve one packet on every backlogged member link, cycling through
-    ``slot_links`` (per-slot arrays of link indices) from its first entry.
+    each serve every backlogged member link, cycling through ``slot_links``
+    (per-slot arrays of link indices) from its first entry.  Each play
+    forwards one packet per member (the seed contract) unless
+    ``slot_rates`` — per-slot packets-per-slot arrays aligned with
+    ``slot_links``, from :meth:`RateAnnotator.annotate` — grants more.
     Returns the packet-hops served.
     """
     served = 0
     if slot_links:
+        n = len(slot_links)
         for t in range(overhead_slots, epoch_slots):
+            i = (t - overhead_slots) % n
             served += queues.serve_slot(
-                slot_links[(t - overhead_slots) % len(slot_links)], start + t
+                slot_links[i],
+                start + t,
+                rates=None if slot_rates is None else slot_rates[i],
             )
     return served
 
@@ -376,6 +448,33 @@ def book_epoch_obs(obs: Obs | None, record: EpochRecord, engine: str) -> None:
         obs.counter("traffic.reconciled", record.reconciled, engine=engine)
     obs.gauge("traffic.backlog", record.backlog_end, engine=engine)
     obs.gauge("traffic.epochs_run", record.epoch + 1, engine=engine)
+
+
+def book_rate_obs(
+    obs: Obs | None,
+    slot_tiers: list[np.ndarray] | None,
+    served: int,
+    plays: int,
+    engine: str,
+) -> None:
+    """Book one epoch's multi-rate serving metrics.
+
+    Per-tier ``rate.selected`` counters (how many memberships the round's
+    annotation granted each MCS tier) plus a ``rate.delivered`` histogram
+    observation of the epoch's realized packets per play — exactly 1.0
+    under the degenerate table, drifting upward as links win higher tiers.
+    No-op on fixed-rate runs (``slot_tiers is None``) or with obs off;
+    always passive.
+    """
+    if obs is None or slot_tiers is None:
+        return
+    occupied = [t for t in slot_tiers if t.size]
+    if occupied:
+        tiers, counts = np.unique(np.concatenate(occupied), return_counts=True)
+        for tier, count in zip(tiers, counts):
+            obs.counter("rate.selected", int(count), engine=engine, tier=int(tier))
+    if plays > 0:
+        obs.observe("rate.delivered", served / plays, engine=engine)
 
 
 def finish_run_obs(obs: Obs | None, trace: TrafficTrace, engine: str) -> None:
@@ -467,6 +566,7 @@ def run_epochs(
             metric=cfg.drift_metric,
             model=model,
             epoch_slots=cfg.epoch_slots,
+            rate_table=cfg.rate_table,
         )
         scheduler = cache
     # (Re)bind unconditionally: this run's control model — priced, free, or
@@ -481,6 +581,14 @@ def run_epochs(
     bind_obs = getattr(generator, "bind_obs", None)
     if bind_obs is not None:
         bind_obs(obs)
+    annotator = None
+    if cfg.rate_table is not None:
+        if model is None:
+            raise ValueError(
+                "config.rate_table needs the interference oracle: pass model= "
+                "so served slots can be rate-annotated from their SINR"
+            )
+        annotator = RateAnnotator(links, model, cfg.rate_table)
     stream = (
         DeliveryStream()
         if obs is not None and obs.stream_deliveries
@@ -539,8 +647,21 @@ def run_epochs(
             # don't materialize arrays for the unplayable tail.
             playable = T - overhead_slots
             slot_links = [s.as_array() for s in planned.schedule.slots[:playable]]
+            slot_tiers = slot_rates = None
+            if annotator is not None:
+                slot_tiers, slot_rates = annotator.annotate(slot_links)
+            plays_before = queues.plays_total
             with phase(obs, "epoch.serve", engine="epoch", epoch=epoch):
-                served = play_schedule(queues, slot_links, start, T, overhead_slots)
+                served = play_schedule(
+                    queues, slot_links, start, T, overhead_slots, slot_rates
+                )
+            book_rate_obs(
+                obs,
+                slot_tiers,
+                served,
+                queues.plays_total - plays_before,
+                engine="epoch",
+            )
         elif ledger is not None:
             # No demand, hence no scheduler run — but control messages
             # booked to this epoch (e.g. session signaling into an idle
@@ -606,6 +727,28 @@ def centralized_scheduler(
 
     def schedule(links: LinkSet, epoch: int) -> EpochSchedule:
         return EpochSchedule(greedy_physical(links, model, ordering), overhead_seconds)
+
+    return schedule
+
+
+def rate_aware_scheduler(
+    model: PhysicalInterferenceModel,
+    table: RateTable,
+    overhead_seconds: float = 0.0,
+) -> EpochSchedulerFn:
+    """GreedyRate re-run on every epoch's backlog snapshot.
+
+    The multi-rate analogue of :func:`centralized_scheduler`: packs each
+    slot to maximize total packets per slot under ``table`` instead of
+    membership count (:func:`repro.scheduling.greedy_rate.greedy_rate`),
+    and sizes the schedule so every link's *packet capacity* — not its
+    membership count — covers its demand.  Pair it with
+    ``EpochConfig(rate_table=table)`` so serving grants the same tiers the
+    packer planned for.
+    """
+
+    def schedule(links: LinkSet, epoch: int) -> EpochSchedule:
+        return EpochSchedule(greedy_rate(links, model, table), overhead_seconds)
 
     return schedule
 

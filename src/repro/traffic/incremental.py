@@ -133,30 +133,48 @@ def patch_schedule(
     links: LinkSet,
     model: PhysicalInterferenceModel,
     max_length: int | None = None,
+    table=None,
 ) -> Schedule | None:
     """Repair a cached schedule for a new demand vector, or ``None``.
 
-    The repaired schedule satisfies the new demand *exactly* — every link
-    appears in exactly ``demand[k]`` slots, just as a fresh
+    Without a ``table`` (the fixed-rate seed contract) the repaired
+    schedule satisfies the new demand *exactly* — every link appears in
+    exactly ``demand[k]`` slots, just as a fresh
     :func:`~repro.scheduling.greedy_physical.greedy_physical` run would
-    allocate — via edits that are all feasibility-preserving:
+    allocate.  With a :class:`~repro.phy.radio.RateTable` the match is in
+    **packets**: each membership is worth its slot's SINR-selected rate,
+    and the repair guarantees every link's summed packet capacity covers
+    its demand (over-grant bounded by one tier's worth of rounding — rates
+    are integral).  Either way the edits are all feasibility-preserving:
 
     1. *Drop emptied and over-allocated memberships*: links whose demand
        fell lose memberships, latest slots first (removing a transmitter
        only lowers interference at every remaining receiver, so a feasible
        slot stays feasible); emptied links vanish entirely and slots left
-       empty are deleted, shortening the cycle.
+       empty are deleted, shortening the cycle.  Under a ``table`` each
+       kept membership retires demand at the *cached* slot's rate — a
+       lower bound on its post-trim rate, since removals only raise SINR —
+       so trimming never cuts below the new demand.
     2. *Insert under-allocated links*: newly backlogged links, and links
-       whose demand grew past their cached allocation, are added greedily
+       whose demand grew past their cached capacity, are added greedily
        to the earliest slots where :meth:`SlotState.can_add` says the slot
        — including its ACK traffic — stays SINR-feasible (at most one
        membership per slot, mirroring the greedy invariant), with new
        slots opened at the end for whatever the packed slots cannot
-       absorb, exactly as the greedy algorithm itself overflows.
+       absorb, exactly as the greedy algorithm itself overflows.  Each
+       insertion retires the rate the slot actually grants the new member.
+    3. *Top-up* (``table`` only): an insertion can demote *other* members'
+       tiers, shrinking capacity pass 2 had already counted.  Capacity is
+       re-read from the final member sets and any shortfall is covered by
+       fresh slots only — a fresh slot cannot degrade anyone, and grants
+       its link the full standalone rate, so one round closes every gap.
+       Under the degenerate table every rate is 1, passes 1–2 reduce to
+       the membership arithmetic above, and pass 3 finds nothing to do —
+       patching is bit-identical to the fixed-rate path.
 
-    Maintaining exact allocations is what keeps reuse *stable*: a patch
-    that only guaranteed one slot per new link would serve stale demand
-    proportions epoch after epoch and quietly starve growing queues.
+    Maintaining demand-matched capacity is what keeps reuse *stable*: a
+    patch that only guaranteed one slot per new link would serve stale
+    demand proportions epoch after epoch and quietly starve growing queues.
 
     Returns ``None`` — the caller falls back to a full re-run — when some
     link is infeasible even alone (not a communication edge), or when the
@@ -172,26 +190,59 @@ def patch_schedule(
         )
     demand = np.asarray(links.demand, dtype=np.int64)
 
-    # 1. Keep at most demand[k] memberships per link, earliest slots first
-    #    (greedy packed the earliest slots densest; trimming from the tail
-    #    preserves that structure), then rebuild per-slot feasibility state.
+    # Value of every cached membership, in packets (all ones when rate-
+    # blind).  Computed against the *cached* member sets once, up front.
+    if table is None:
+        cached_rates = [np.ones(len(slot), dtype=np.int64) for slot in cached.slots]
+    else:
+        cached_rates = []
+        for slot in cached.slots:
+            idx = slot.as_array()
+            if idx.size == 0:
+                cached_rates.append(np.empty(0, dtype=np.int64))
+            else:
+                cached_rates.append(
+                    model.link_rates(links.heads[idx], links.tails[idx], table)
+                )
+
+    # 1. Keep memberships until each link's demand is covered, earliest
+    #    slots first (greedy packed the earliest slots densest; trimming
+    #    from the tail preserves that structure), then rebuild per-slot
+    #    feasibility state.
     keep_budget = demand.copy()
     states: list[SlotState] = []
     slots: list[Slot] = []
     allocated = np.zeros(links.n_links, dtype=np.int64)
-    for slot in cached.slots:
-        kept = [k for k in slot.links if keep_budget[k] > 0]
+    for slot, slot_rates in zip(cached.slots, cached_rates):
+        kept = [
+            (k, int(rate))
+            for k, rate in zip(slot.links, slot_rates)
+            if keep_budget[k] > 0
+        ]
         if not kept:
             continue
         state = SlotState(model)
         new_slot = Slot()
-        for k in kept:
+        for k, rate in kept:
             state.add(int(links.heads[k]), int(links.tails[k]))
             new_slot.add(k)
-            keep_budget[k] -= 1
-            allocated[k] += 1
+            keep_budget[k] -= rate
+            allocated[k] += rate
         states.append(state)
         slots.append(new_slot)
+
+    def open_fresh_slot(k: int, sender: int, receiver: int) -> int | None:
+        """Append a singleton slot for ``k``; return its granted rate."""
+        state = SlotState(model)
+        if not state.try_add(sender, receiver):
+            return None  # infeasible even alone: not a communication edge
+        slot = Slot()
+        slot.add(k)
+        states.append(state)
+        slots.append(slot)
+        if table is None:
+            return 1
+        return int(state.member_rates(table)[0])
 
     # 2. Greedily insert each link's remaining demand (largest deficit
     #    first: the hardest-to-serve links get first pick of the room),
@@ -202,22 +253,44 @@ def patch_schedule(
         sender, receiver = int(links.heads[k]), int(links.tails[k])
         remaining = int(deficit[k])
         for state, slot in zip(states, slots):
-            if remaining == 0:
+            if remaining <= 0:
                 break
             if k not in slot and state.try_add(sender, receiver):
                 slot.add(k)
-                remaining -= 1
+                # The newest member is last in the state's member order.
+                granted = 1 if table is None else int(state.member_rates(table)[-1])
+                remaining -= granted
         while remaining > 0:
-            state = SlotState(model)
-            if not state.try_add(sender, receiver):
-                return None  # infeasible even alone: not a communication edge
-            slot = Slot()
-            slot.add(k)
-            states.append(state)
-            slots.append(slot)
-            remaining -= 1
+            granted = open_fresh_slot(k, sender, receiver)
+            if granted is None:
+                return None
+            remaining -= granted
             if max_length is not None and len(slots) > max_length:
                 return None  # packing degraded past the playable window
+
+    # 3. Rate top-up: pass 2's insertions may have demoted tiers of
+    #    memberships whose packets were already counted.  Re-read capacity
+    #    from the final member sets; cover any shortfall with fresh slots
+    #    (which degrade nothing), so a single round suffices.
+    if table is not None:
+        capacity = np.zeros(links.n_links, dtype=np.int64)
+        for state, slot in zip(states, slots):
+            for k, rate in zip(slot.links, state.member_rates(table)):
+                capacity[k] += int(rate)
+        shortfall = demand - capacity
+        for k in sorted(
+            np.flatnonzero(shortfall > 0), key=lambda k: -int(shortfall[k])
+        ):
+            k = int(k)
+            sender, receiver = int(links.heads[k]), int(links.tails[k])
+            remaining = int(shortfall[k])
+            while remaining > 0:
+                granted = open_fresh_slot(k, sender, receiver)
+                if granted is None:
+                    return None
+                remaining -= granted
+                if max_length is not None and len(slots) > max_length:
+                    return None
 
     if max_length is not None and len(slots) > max_length:
         return None
@@ -243,6 +316,12 @@ class ScheduleCache:
     model:
         Physical-interference model, required by the ``patch`` policy for
         its SINR feasibility checks.
+    rate_table:
+        Optional :class:`~repro.phy.radio.RateTable`: patches then match
+        demand in packet capacity instead of membership count (see
+        :func:`patch_schedule`).  Pass the same table the epoch loop
+        serves with (``EpochConfig.rate_table``) or patched schedules will
+        be sized for the wrong contract.
     epoch_slots:
         When given, two safeguards engage.  First, the drift threshold is
         scaled by the cached schedule's *service headroom* — the number of
@@ -272,6 +351,7 @@ class ScheduleCache:
         metric: str = "l1",
         model: PhysicalInterferenceModel | None = None,
         epoch_slots: int | None = None,
+        rate_table=None,
     ):
         if policy not in ("drift-threshold", "patch"):
             raise ValueError(
@@ -291,6 +371,7 @@ class ScheduleCache:
         self._drift = DRIFT_METRICS[metric]
         self._model = model
         self._epoch_slots = epoch_slots
+        self._rate_table = rate_table
         self._cached: EpochSchedule | None = None
         self._baseline: np.ndarray | None = None
         self._ledger = None
@@ -386,6 +467,7 @@ class ScheduleCache:
                         links,
                         self._model,
                         max_length=self._epoch_slots,
+                        table=self._rate_table,
                     )
                 if patched is not None:
                     planned = EpochSchedule(patched, overhead_seconds=0.0)

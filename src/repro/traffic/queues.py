@@ -68,6 +68,10 @@ class LinkQueues:
         self.arrivals_total = 0
         self.delivered_total = 0
         self.served_total = 0  # packet-hops: every successful transmission
+        #: Link-slot memberships that actually transmitted (>= 1 packet).
+        #: ``served_total / plays_total`` is the realized mean service rate
+        #: in packets per play — exactly 1.0 under fixed-rate serving.
+        self.plays_total = 0
         self.delays: list[int] = []  # per delivered packet, in slots
         self.births: list[int] = []  # per delivered packet, its birth slot
         self.sources: list[int] = []  # per delivered packet, its entry link
@@ -102,20 +106,51 @@ class LinkQueues:
         self.arrivals_total += total
         return total
 
-    def serve_slot(self, link_indices: np.ndarray, time: int) -> int:
-        """Serve one slot: every listed backlogged link forwards one packet.
+    def serve_slot(
+        self,
+        link_indices: np.ndarray,
+        time: int,
+        rates: np.ndarray | None = None,
+    ) -> int:
+        """Serve one slot: every listed backlogged link forwards packets.
+
+        With ``rates=None`` (fixed-rate, the seed contract) every
+        backlogged member forwards exactly one packet.  With a ``rates``
+        array (aligned with ``link_indices``, packets per slot from the
+        link's MCS tier) member ``k`` forwards ``min(rates[k],
+        backlog[k])`` packets — the multi-rate serving contract.  An
+        all-ones ``rates`` array is behaviourally identical to ``None``.
 
         All transmissions in the slot are simultaneous: packets are popped
         first and routed after, so a packet cannot traverse two hops within
         one slot.  Returns the number of packets served (packet-hops).
         """
         idx = np.asarray(link_indices, dtype=np.intp)
-        ready = idx[self.backlog[idx] > 0]
-        self.served_by_link[ready] += 1  # member links are unique per slot
         moves: list[tuple[int, int, int]] = []  # (next link or -1, birth, source)
-        for k in ready:
-            birth, source = self._pop(int(k))
-            moves.append((int(self.next_link[k]), birth, source))
+        if rates is None:
+            ready = idx[self.backlog[idx] > 0]
+            self.served_by_link[ready] += 1  # member links are unique per slot
+            for k in ready:
+                birth, source = self._pop(int(k))
+                moves.append((int(self.next_link[k]), birth, source))
+            self.plays_total += len(ready)
+        else:
+            r = np.asarray(rates, dtype=np.int64)
+            if r.shape != idx.shape:
+                raise ValueError(
+                    f"rates must align with link_indices: {r.shape} vs {idx.shape}"
+                )
+            if np.any(r < 0):
+                raise ValueError("rates must be non-negative")
+            counts = np.minimum(r, self.backlog[idx])
+            active = counts > 0
+            self.served_by_link[idx[active]] += counts[active]
+            self.plays_total += int(active.sum())
+            for k, count in zip(idx[active], counts[active]):
+                nxt = int(self.next_link[k])
+                for _ in range(int(count)):
+                    birth, source = self._pop(int(k))
+                    moves.append((nxt, birth, source))
         stream = self.delivery_stream
         for nxt, birth, source in moves:
             if nxt < 0:

@@ -63,8 +63,10 @@ from repro.traffic.epoch import (
     EpochRecord,
     EpochSchedule,
     EpochSchedulerFn,
+    RateAnnotator,
     TrafficTrace,
     book_epoch_obs,
+    book_rate_obs,
     finish_run_obs,
     play_schedule,
     priced_overhead_slots,
@@ -572,6 +574,7 @@ def run_epochs_sharded(
                 metric=cfg.drift_metric,
                 model=shard_model,
                 epoch_slots=cfg.epoch_slots,
+                rate_table=cfg.rate_table,
             )
             scheduler = cache
         if cache is not None:
@@ -591,6 +594,27 @@ def run_epochs_sharded(
         bind_obs(obs)
     if ledger is not None:
         ledger.bind_obs(obs)
+
+    annotator = None
+    if cfg.rate_table is not None:
+        # Rate tiers are selected under the *union* of the shard guard
+        # budgets (elementwise max over nodes): a boundary node's serving
+        # rate honours the same far-field margin its scheduling honoured,
+        # whichever shard charged it — guard budgets cost rate tiers, not
+        # just feasibility.  Budget-free plans (and the degenerate 1-shard
+        # plan) fall through to the exact model, keeping the n_shards=1
+        # path bit-identical to the monolithic engine.
+        union_budget = None
+        for shard in plan.shards:
+            if shard.budget_mw is not None:
+                union_budget = (
+                    shard.budget_mw.copy()
+                    if union_budget is None
+                    else np.maximum(union_budget, shard.budget_mw)
+                )
+        annotator = RateAnnotator(
+            plan.links, model.with_budget(union_budget), cfg.rate_table
+        )
 
     stream = None
     if obs is not None and obs.stream_deliveries:
@@ -772,10 +796,22 @@ def run_epochs_sharded(
                         overhead_seconds, ledger, epoch, cfg
                     )
                 playable = T - overhead_slots
+                round_slots = combined[:playable]
+                slot_tiers = slot_rates = None
+                if annotator is not None:
+                    slot_tiers, slot_rates = annotator.annotate(round_slots)
+                plays_before = queues.plays_total
                 with phase(obs, "epoch.serve", engine="sharded", epoch=epoch):
                     served = play_schedule(
-                        queues, combined[:playable], start, T, overhead_slots
+                        queues, round_slots, start, T, overhead_slots, slot_rates
                     )
+                book_rate_obs(
+                    obs,
+                    slot_tiers,
+                    served,
+                    queues.plays_total - plays_before,
+                    engine="sharded",
+                )
             elif ledger is not None:
                 # No demand, no shard asked — but booked control messages
                 # (e.g. session signaling into an idle mesh) still cost air.

@@ -65,6 +65,13 @@ class StabilityMetrics:
     overhead_slots: float = 0.0  # amortized protocol overhead, slots per epoch
     cache_hit_rate: float = 0.0  # epochs that avoided a full scheduler re-run
     confirm_seeds: int = 1  # arrival seeds behind the stable verdict
+    # Multi-rate serving (repro.phy.radio.RateTable): realized packets per
+    # play, served packet-hops over link-slot transmissions.  Exactly 1.0
+    # on fixed-rate runs and under the degenerate table; above 1.0 when
+    # links win higher MCS tiers.  Throughput/knee metrics need no separate
+    # conversion — they were always counted in *delivered packets*, which
+    # is precisely what rate-weighted serving inflates.
+    mean_service_rate: float = 1.0
     # In-band control-plane accounting (repro.core.controlplane); both stay
     # at 0 on unpriced runs, so pre-pricing metrics compare unchanged.
     control_slots: float = 0.0  # amortized control share of the overhead, slots/epoch
@@ -86,6 +93,8 @@ class StabilityMetrics:
             f"overhead={self.overhead_slots:.1f} slots/epoch, "
             f"cache hits={self.cache_hit_rate:.0%}"
         )
+        if self.mean_service_rate != 1.0:
+            text += f", service rate={self.mean_service_rate:.2f} pkt/play"
         if self.control_messages > 0:
             text += (
                 f", control={self.control_slots:.1f} slots/epoch "
@@ -222,6 +231,9 @@ def summarize_trace(
             mean_delay = stream.mean
             p99_delay = stream.quantile(0.99)
     throughput = trace.delivered_total / slots
+    service_rate = 1.0
+    if trace.queues is not None and trace.queues.plays_total > 0:
+        service_rate = trace.queues.served_total / trace.queues.plays_total
     blocking = float("nan")
     goodput = float("nan")
     flow_p99 = float("nan")
@@ -245,6 +257,7 @@ def summarize_trace(
         stable=is_stable(trace, tolerance),
         overhead_slots=trace.overhead_slots_total / epochs,
         cache_hit_rate=trace.cache_hit_rate,
+        mean_service_rate=service_rate,
         control_slots=trace.control_slots_total / epochs,
         control_messages=trace.control_messages_total / epochs,
         blocking_probability=blocking,

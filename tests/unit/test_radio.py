@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.phy.radio import RadioConfig, heterogeneous_tx_power, uniform_tx_power
+from repro.phy.radio import (
+    RadioConfig,
+    RateTable,
+    heterogeneous_tx_power,
+    uniform_tx_power,
+)
 from repro.phy.units import dbm_to_mw
 
 
@@ -65,3 +70,83 @@ class TestPowerVectors:
             heterogeneous_tx_power(
                 4, np.random.default_rng(0), low_dbm=14.0, high_dbm=10.0
             )
+
+
+class TestRateTableValidation:
+    def test_degenerate_table(self):
+        table = RateTable.degenerate(10.0)
+        assert table.is_degenerate
+        assert table.n_tiers == 1
+        assert table.base_rate == 1
+        assert table.beta == 10.0
+
+    def test_geometric_defaults_calibrated_ladder(self):
+        table = RateTable.geometric(10.0)
+        np.testing.assert_allclose(table.thresholds, [10.0, 20.0, 40.0])
+        np.testing.assert_array_equal(table.rates, [1, 2, 4])
+        assert not table.is_degenerate
+
+    def test_thresholds_must_strictly_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            RateTable(thresholds=np.array([10.0, 10.0]), rates=np.array([1, 2]))
+
+    def test_thresholds_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            RateTable(thresholds=np.array([-1.0, 10.0]), rates=np.array([1, 2]))
+
+    def test_rates_must_be_positive_and_monotone(self):
+        with pytest.raises(ValueError, match="positive"):
+            RateTable(thresholds=np.array([10.0]), rates=np.array([0]))
+        with pytest.raises(ValueError, match="monotone"):
+            RateTable(thresholds=np.array([10.0, 20.0]), rates=np.array([2, 1]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            RateTable(thresholds=np.array([10.0, 20.0]), rates=np.array([1]))
+
+    def test_sub_unity_hysteresis_rejected(self):
+        with pytest.raises(ValueError, match="hysteresis"):
+            RateTable(
+                thresholds=np.array([10.0]), rates=np.array([1]), hysteresis=0.9
+            )
+
+
+class TestRateTableLookup:
+    def make(self, hysteresis=1.0):
+        return RateTable(
+            thresholds=np.array([10.0, 20.0, 40.0]),
+            rates=np.array([1, 2, 4]),
+            hysteresis=hysteresis,
+        )
+
+    def test_tier_for_brackets(self):
+        table = self.make()
+        np.testing.assert_array_equal(
+            table.tier_for(np.array([5.0, 10.0, 19.9, 20.0, 39.0, 40.0, 1e6])),
+            [-1, 0, 0, 1, 1, 2, 2],
+        )
+
+    def test_rate_for_zero_below_base(self):
+        table = self.make()
+        np.testing.assert_array_equal(
+            table.rate_for(np.array([5.0, 10.0, 25.0, 80.0])), [0, 1, 2, 4]
+        )
+
+    def test_select_upgrade_needs_margin(self):
+        table = self.make(hysteresis=1.25)
+        sinr = np.array([21.0, 25.0, 25.0])
+        prev = np.array([0, 0, 1])
+        # 21 < 20*1.25: upgrade denied; 25 >= 25: granted; holding tier 1
+        # at 25 stays (no upgrade attempted past raw).
+        np.testing.assert_array_equal(table.select(sinr, prev), [0, 1, 1])
+
+    def test_select_downgrades_immediately(self):
+        table = self.make(hysteresis=1.25)
+        sinr = np.array([15.0, 5.0])
+        prev = np.array([1, 2])
+        np.testing.assert_array_equal(table.select(sinr, prev), [0, -1])
+
+    def test_select_shape_mismatch_rejected(self):
+        table = self.make(hysteresis=1.25)
+        with pytest.raises(ValueError, match="shape"):
+            table.select(np.array([10.0, 20.0]), np.array([0]))

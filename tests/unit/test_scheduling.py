@@ -212,3 +212,77 @@ class TestMetrics:
     def test_verifier_report_string(self, grid16, grid16_links):
         ok = verify_schedule(linear_schedule(grid16_links), grid16.model)
         assert "OK" in str(ok)
+
+
+class TestGreedyRate:
+    def table(self, beta=10.0):
+        from repro.phy.radio import RateTable
+
+        return RateTable.geometric(beta)
+
+    def test_degenerate_table_covers_demand_in_memberships(self, grid64, grid64_links):
+        from repro.phy.radio import RateTable
+        from repro.scheduling.greedy_rate import greedy_rate
+
+        table = RateTable.degenerate(grid64.model.radio.beta)
+        schedule = greedy_rate(grid64_links, grid64.model, table)
+        assert schedule_is_feasible(schedule, grid64.model)
+        # Every rate is 1, so packet capacity == membership count.
+        assert schedule.satisfies_demand()
+
+    def test_packet_capacity_covers_demand(self, grid64, grid64_links):
+        from repro.scheduling.feasibility import schedule_rates
+        from repro.scheduling.greedy_rate import greedy_rate
+
+        table = self.table(grid64.model.radio.beta)
+        schedule = greedy_rate(grid64_links, grid64.model, table)
+        assert schedule_is_feasible(schedule, grid64.model)
+        capacity = np.zeros(grid64_links.n_links, dtype=np.int64)
+        for slot, rates in zip(schedule.slots, schedule_rates(schedule, grid64.model, table)):
+            for k, rate in zip(slot.links, rates):
+                capacity[k] += rate
+        assert (capacity >= grid64_links.demand).all()
+
+    def test_never_longer_than_fixed_rate_greedy(self, grid64, grid64_links):
+        from repro.scheduling.greedy_rate import greedy_rate
+
+        table = self.table(grid64.model.radio.beta)
+        rated = greedy_rate(grid64_links, grid64.model, table)
+        fixed = greedy_physical(grid64_links, grid64.model)
+        assert rated.length <= fixed.length
+
+    def test_zero_demand_links_get_no_slots(self, grid16):
+        from repro.scheduling.greedy_rate import greedy_rate
+
+        forest = build_routing_forest(
+            grid16.comm_adj, planned_gateways(4, 4, 2), rng=3
+        )
+        demand = np.ones(16, dtype=int)
+        demand[planned_gateways(4, 4, 2)] = 0
+        links = forest_link_set(forest, aggregate_demand(forest, demand))
+        links = links.subset(np.arange(links.n_links))
+        links.demand[0] = 0
+        schedule = greedy_rate(links, grid16.model, self.table(grid16.model.radio.beta))
+        assert all(0 not in slot.links for slot in schedule.slots)
+
+    def test_standalone_rates_match_alone_evaluation(self, grid16, grid16_links):
+        from repro.scheduling.greedy_rate import standalone_rates
+
+        table = self.table(grid16.model.radio.beta)
+        rates = standalone_rates(grid16_links, grid16.model, table)
+        assert rates.shape == (grid16_links.n_links,)
+        assert (rates >= 1).all()  # every comm edge decodes alone
+        alone = grid16.model.link_rates(
+            grid16_links.heads[:1], grid16_links.tails[:1], table
+        )
+        assert rates[0] == alone[0]
+
+    def test_member_rates_follow_slot_state(self, grid16, grid16_links):
+        from repro.scheduling.feasibility import SlotState
+
+        table = self.table(grid16.model.radio.beta)
+        state = SlotState(grid16.model)
+        state.add(int(grid16_links.heads[0]), int(grid16_links.tails[0]))
+        alone = int(state.member_rates(table)[0])
+        assert state.rate_sum(table) == alone
+        assert alone >= 1

@@ -491,3 +491,57 @@ class TestSweepConfirmation:
 
         points = stability_sweep([0.01], run_at)
         assert points[0].stable
+
+
+class TestPatchScheduleWithRateTable:
+    """patch_schedule(table=...): demand-matching in packets, not memberships."""
+
+    def table(self, model):
+        from repro.phy.radio import RateTable
+
+        return RateTable.geometric(model.radio.beta)
+
+    def test_degenerate_table_patches_identically(self, mesh):
+        from repro.phy.radio import RateTable
+
+        links, model = mesh.links, mesh.network.model
+        table = RateTable.degenerate(model.radio.beta)
+        cached = greedy_physical(links, model)
+        rng = np.random.default_rng(11)
+        new_links = replace(links, demand=rng.integers(0, 6, size=links.n_links))
+
+        bare = patch_schedule(cached, new_links, model)
+        rated = patch_schedule(cached, new_links, model, table=table)
+        assert bare is not None and rated is not None
+        assert [s.links for s in bare.slots] == [s.links for s in rated.slots]
+
+    def test_packet_capacity_covers_new_demand(self, mesh):
+        from repro.scheduling.feasibility import schedule_rates
+
+        links, model = mesh.links, mesh.network.model
+        table = self.table(model)
+        cached = greedy_physical(links, model)
+        rng = np.random.default_rng(13)
+        new_demand = rng.integers(0, 8, size=links.n_links)
+        new_links = replace(links, demand=new_demand)
+
+        patched = patch_schedule(cached, new_links, model, table=table)
+        assert patched is not None
+        assert schedule_is_feasible(patched, model)
+        capacity = np.zeros(links.n_links, dtype=np.int64)
+        for slot, rates in zip(patched.slots, schedule_rates(patched, model, table)):
+            for k, rate in zip(slot.links, rates):
+                capacity[k] += rate
+        assert (capacity >= new_demand).all()
+        # Emptied links keep no memberships (trim still exact in packets).
+        for slot in patched.slots:
+            assert all(new_demand[k] > 0 for k in slot.links)
+
+    def test_table_patch_max_length_fallback(self, mesh):
+        links, model = mesh.links, mesh.network.model
+        cached = greedy_physical(links, model)
+        grown = replace(links, demand=links.demand * 6)
+        assert (
+            patch_schedule(cached, grown, model, max_length=2, table=self.table(model))
+            is None
+        )

@@ -124,3 +124,81 @@ class TestConservation:
         )
         with pytest.raises(ValueError, match="heads more than one link"):
             LinkQueues(two_headed)
+
+
+class TestRateServing:
+    """serve_slot(rates=...): the multi-rate serving contract."""
+
+    def test_rate_serves_multiple_packets_per_play(self):
+        queues = LinkQueues(chain_links())
+        queues.arrive(np.array([0, 0, 3]), time=0)
+        served = queues.serve_slot(np.array([1]), time=0, rates=np.array([2]))
+        assert served == 2
+        np.testing.assert_array_equal(queues.backlog, [2, 1])
+        assert queues.plays_total == 1
+
+    def test_rate_clamped_to_backlog(self):
+        queues = LinkQueues(chain_links())
+        queues.arrive(np.array([0, 0, 1]), time=0)
+        served = queues.serve_slot(np.array([1]), time=0, rates=np.array([4]))
+        assert served == 1
+        assert queues.total_backlog() == 1  # relayed onto link 0
+
+    def test_all_ones_rates_match_rateless_serving(self):
+        fixed, rated = LinkQueues(chain_links()), LinkQueues(chain_links())
+        rng = np.random.default_rng(7)
+        for t in range(30):
+            arrivals = rng.integers(0, 3, size=3)
+            arrivals[0] = 0
+            fixed.arrive(arrivals, t)
+            rated.arrive(arrivals, t)
+            members = rng.permutation(2)[: rng.integers(1, 3)]
+            s1 = fixed.serve_slot(members, t)
+            s2 = rated.serve_slot(members, t, rates=np.ones(members.size, np.int64))
+            assert s1 == s2
+        np.testing.assert_array_equal(fixed.backlog, rated.backlog)
+        np.testing.assert_array_equal(fixed.delay_array(), rated.delay_array())
+        fixed.check_conservation()
+        rated.check_conservation()
+
+    def test_zero_rate_member_is_not_a_play(self):
+        queues = LinkQueues(chain_links())
+        queues.arrive(np.array([0, 1, 1]), time=0)
+        served = queues.serve_slot(np.array([0, 1]), time=0, rates=np.array([0, 1]))
+        assert served == 1
+        assert queues.plays_total == 1
+
+    def test_rate_serving_conserves_packets(self):
+        queues = LinkQueues(chain_links())
+        rng = np.random.default_rng(11)
+        for t in range(50):
+            arrivals = rng.integers(0, 4, size=3)
+            arrivals[0] = 0
+            queues.arrive(arrivals, t)
+            members = rng.permutation(2)[: rng.integers(1, 3)]
+            rates = rng.integers(0, 4, size=members.size)
+            queues.serve_slot(members, t, rates=rates)
+        queues.check_conservation()
+        assert queues.served_total >= queues.delivered_total
+
+    def test_fifo_order_preserved_under_rates(self):
+        queues = LinkQueues(chain_links())
+        queues.arrive(np.array([0, 2, 0]), time=0)
+        queues.arrive(np.array([0, 2, 0]), time=5)
+        queues.serve_slot(np.array([0]), time=10, rates=np.array([3]))
+        # Three delivered: both t=0 packets before any t=5 packet
+        # (delivery timestamps at slot end, time + 1).
+        delays = np.sort(queues.delay_array())
+        np.testing.assert_array_equal(delays, [6, 11, 11])
+
+    def test_rates_shape_mismatch_rejected(self):
+        queues = LinkQueues(chain_links())
+        queues.arrive(np.array([0, 1, 0]), time=0)
+        with pytest.raises(ValueError, match="align"):
+            queues.serve_slot(np.array([0]), time=0, rates=np.array([1, 2]))
+
+    def test_negative_rates_rejected(self):
+        queues = LinkQueues(chain_links())
+        queues.arrive(np.array([0, 1, 0]), time=0)
+        with pytest.raises(ValueError, match="negative"):
+            queues.serve_slot(np.array([0]), time=0, rates=np.array([-1]))
