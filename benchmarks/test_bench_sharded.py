@@ -2,19 +2,31 @@
 
 Runs the monolithic and sharded engines over the 16x16 and 24x24 grids
 (FDD per region vs one backbone protocol) and records the comparison
-table.  Beyond the snapshot, asserts the PR's headlines on the 16x16 grid
-at 4 shards:
+table.  The experiment itself re-runs one operating point per grid on the
+*other* executor backend, so every bench run exercises both the thread
+and the process pool and proves them record-identical.  Beyond the
+snapshot, asserts the PR's headlines on the 16x16 grid at 4 shards:
 
-* the sharded engine cuts the *critical-path* scheduling wall-clock — the
+* the sharded engine cuts the *critical-path* scheduling time — the
   per-epoch maximum over the concurrently computing regions, i.e. what the
-  scheduling phase costs when every region has its own controller (and
-  what a multi-worker host measures) — by at least 2x;
+  scheduling phase costs when every region has its own controller — by at
+  least 2x;
+* with ``executor="process"`` on a host that actually has the workers
+  (``os.cpu_count() >= sharded_workers``), the speedup is *cashed*: real
+  wall-clock drops >= 2x on the 16x16 grid, and the 24x24 sharded wall
+  stays within 1.5x of its critical path;
 * the measured stability knee stays within one sweep step of the
   monolithic knee;
+* the batched SINR admission kernels (``slots_can_add`` /
+  ``PhysicalInterferenceModel.feasible_with``) agree verdict-for-verdict
+  with the incremental per-candidate scan on a real bench-scale grid, so
+  the vectorized schedulers build identical schedules;
 * the degenerate 1-shard partition reproduces the monolithic engine
   epoch-for-epoch for every reschedule policy (the equivalence harness
   that keeps the refactor honest).
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -23,6 +35,7 @@ from repro.core.fdd import fdd_on_network
 from repro.experiments.common import PAPER_PROTOCOL, ExperimentProfile
 from repro.experiments.sharded import sharded_experiment
 from repro.routing import build_routing_forest, planned_gateways
+from repro.scheduling.feasibility import SlotState, slots_can_add
 from repro.scheduling.links import forest_link_set
 from repro.topology.network import grid_network
 from repro.traffic import (
@@ -63,10 +76,18 @@ def _rows_by_kind(table):
         if engine == "speedup":
             speedups[grid] = row
         elif lam == "knee":
-            knees[(grid, engine)] = row[-1]
+            knees[(grid, engine)] = row
         else:
             data[(grid, engine, lam)] = row
     return data, knees, speedups
+
+
+# Column indices in the E9 table (see sharded_experiment's header).
+COL_COMPUTE = 6
+COL_CRITICAL = 7
+COL_WALL = 8
+COL_WALL_SPEEDUP = 9
+COL_RECONCILED = 10
 
 
 @pytest.mark.benchmark(group="traffic")
@@ -74,9 +95,17 @@ def test_sharded_engine_speedup_and_knee_fidelity(benchmark, bench_profile, save
     table = benchmark.pedantic(
         sharded_experiment, args=(bench_profile,), rounds=1, iterations=1
     )
-    # Wall-clock columns are masked in the committed snapshot (re-runs must
-    # not churn it); the assertions below read the unmasked table.
-    save_table("sharded", table, volatile=("compute (s)", "critical path (s)"))
+    # Raw timing columns are masked in the committed snapshot (re-runs must
+    # not churn it) — but the *wall speedup* column is deliberately left
+    # unmasked: it is a dimensionless ratio of two same-host measurements,
+    # and committing a real number there (instead of a ``~``) is the point
+    # of the process-pool backend.  The assertions below read the unmasked
+    # table either way.
+    save_table(
+        "sharded",
+        table,
+        volatile=("compute (s)", "critical path (s)", "wall (s)"),
+    )
 
     per_grid = [
         len(lams) * 2 + 3 for lams in bench_profile.sharded_lambdas
@@ -88,13 +117,40 @@ def test_sharded_engine_speedup_and_knee_fidelity(benchmark, bench_profile, save
     assert "16x16" in grids
 
     # --- >= 2x critical-path scheduling speedup on the 16x16 grid.
-    crit_cell = speedups["16x16"][7]
+    crit_cell = speedups["16x16"][COL_CRITICAL]
     assert crit_cell.endswith("x")
     crit_speedup = float(crit_cell[:-1])
     assert crit_speedup >= 2.0, (
-        f"sharded engine should cut the critical-path scheduling wall-clock "
+        f"sharded engine should cut the critical-path scheduling time "
         f">= 2x on the 16x16 grid at 4 shards, measured {crit_speedup:.2f}x"
     )
+
+    # --- Cashing the speedup: only meaningful when the host really has the
+    # workers (one-core CI runners pay process fan-out overhead instead of
+    # buying parallelism) and the sweep ran on the process backend.
+    cpus = os.cpu_count() or 1
+    cashed = (
+        bench_profile.sharded_executor == "process"
+        and cpus >= bench_profile.sharded_workers
+    )
+    wall_cell = speedups["16x16"][COL_WALL_SPEEDUP]
+    if cashed:
+        assert wall_cell.endswith("x")
+        wall_speedup = float(wall_cell[:-1])
+        assert wall_speedup >= 2.0, (
+            f"process-pool backend should cut real wall-clock >= 2x on the "
+            f"16x16 grid with {bench_profile.sharded_workers} workers on "
+            f"{cpus} cores, measured {wall_speedup:.2f}x"
+        )
+        # On the 24x24 grid the sharded wall-clock must track its own
+        # critical path within 1.5x — dispatch/serialization overhead only.
+        crit_total = knees[("24x24", "sharded")][COL_CRITICAL]
+        wall_total = knees[("24x24", "sharded")][COL_WALL]
+        if crit_total != "~" and wall_total != "~":
+            assert float(wall_total) <= 1.5 * float(crit_total) + 0.05, (
+                f"24x24 sharded wall-clock {wall_total}s should stay within "
+                f"~1.5x of its critical path {crit_total}s"
+            )
 
     # --- The knee must stay within one sweep step of the monolithic knee.
     steps = sorted(bench_profile.sharded_lambdas[grids.index("16x16")])
@@ -102,20 +158,69 @@ def test_sharded_engine_speedup_and_knee_fidelity(benchmark, bench_profile, save
     def step_index(cell):
         return steps.index(float(cell)) if cell != "-" else None
 
-    mono_knee = step_index(knees[("16x16", "monolithic")])
-    shard_knee = step_index(knees[("16x16", "sharded")])
+    mono_knee = step_index(knees[("16x16", "monolithic")][-1])
+    shard_knee = step_index(knees[("16x16", "sharded")][-1])
     assert mono_knee is not None, "monolithic engine unstable at every swept rate"
     assert shard_knee is not None, "sharded engine unstable at every swept rate"
     assert abs(shard_knee - mono_knee) <= 1, (
         f"sharded knee moved more than one sweep step: "
-        f"{knees[('16x16', 'sharded')]} vs monolithic {knees[('16x16', 'monolithic')]}"
+        f"{knees[('16x16', 'sharded')][-1]} vs monolithic "
+        f"{knees[('16x16', 'monolithic')][-1]}"
     )
 
     # --- Reconciliation only ever happens on multi-shard rounds, and the
     # monolithic engine reports none.
     for (grid, engine, lam), row in data.items():
         if engine == "monolithic":
-            assert row[8] == "0.0"
+            assert row[COL_RECONCILED] == "0.0"
+
+
+@pytest.mark.benchmark(group="traffic")
+def test_batched_admission_kernels_match_incremental_scan():
+    """The vectorized SINR admission kernels equal the per-candidate scan.
+
+    On a bench-scale 16x16 grid: build a stack of populated slots, then
+    check every (candidate, slot) admission verdict three ways — the
+    incremental ``SlotState.can_add`` scan, the candidate-batched
+    ``SlotState.feasible_with``, and the slot-batched ``slots_can_add`` —
+    plus the model-level ``feasible_with`` against its per-candidate
+    ``feasible_with_addition``.  Exact equality (not allclose): the greedy
+    scheduler, deficit patcher, and reconciliation packer all consult these
+    kernels, so any verdict flip would change schedules.
+    """
+    network = grid_network(16, 16, density_per_km2=1000.0)
+    gateways = planned_gateways(16, 16, 4)
+    forest = build_routing_forest(network.comm_adj, gateways, rng=spawn(11, "bk"))
+    links = forest_link_set(forest, np.zeros(network.n_nodes, dtype=np.int64))
+    model = network.model
+    heads, tails = links.heads, links.tails
+
+    order = np.random.default_rng(20080617).permutation(links.n_links)
+    states: list[SlotState] = []
+    for k in order[:48]:
+        sender, receiver = int(heads[k]), int(tails[k])
+        if not any(st.try_add(sender, receiver) for st in states):
+            fresh = SlotState(model)
+            if fresh.try_add(sender, receiver):
+                states.append(fresh)
+    assert len(states) >= 2 and any(len(st) >= 2 for st in states)
+
+    cand = order[48:168]
+    cs, cr = heads[cand], tails[cand]
+    for st in states:
+        scan = np.array([st.can_add(int(s), int(r)) for s, r in zip(cs, cr)])
+        assert np.array_equal(st.feasible_with(cs, cr), scan)
+        snd, rcv = st.members()
+        model_scan = np.array(
+            [
+                model.feasible_with_addition(snd, rcv, int(s), int(r))
+                for s, r in zip(cs, cr)
+            ]
+        )
+        assert np.array_equal(model.feasible_with(snd, rcv, cs, cr), model_scan)
+    for s, r in zip(cs[:40], cr[:40]):
+        per_slot = np.array([st.can_add(int(s), int(r)) for st in states])
+        assert np.array_equal(slots_can_add(states, int(s), int(r)), per_slot)
 
 
 @pytest.mark.benchmark(group="traffic")

@@ -72,9 +72,14 @@ class ExperimentProfile:
         (0.0015, 0.002, 0.0025, 0.003),
         (0.0008, 0.0012, 0.0016),
     )
-    #: Spatial shards (grid tiles) and thread-pool workers for E9.
+    #: Spatial shards (grid tiles) and pool workers for E9.
     sharded_shards: int = 4
     sharded_workers: int = 4
+    #: Fan-out backend for the sharded sweep: "process" actually cashes the
+    #: critical-path parallelism as wall-clock (GIL-free workers); the E9
+    #: harness cross-checks one operating point per grid against "thread"
+    #: for bit-identity whichever backend is selected here.
+    sharded_executor: str = "process"
     #: Boundary-link detection radius and guard margin (x noise) for E9.
     sharded_radius_m: float = 80.0
     sharded_guard_factor: float = 1.0

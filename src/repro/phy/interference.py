@@ -24,7 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.phy.radio import RadioConfig
-from repro.phy.sinr import sinr_for_links
+from repro.phy.sinr import sinr_for_links, sinr_with_candidates
 
 
 @dataclass(frozen=True)
@@ -205,6 +205,37 @@ class PhysicalInterferenceModel:
         snd = np.append(np.asarray(senders, dtype=np.intp), new_sender)
         rcv = np.append(np.asarray(receivers, dtype=np.intp), new_receiver)
         return self.is_feasible(snd, rcv)
+
+    def feasible_with(
+        self,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        cand_senders: np.ndarray,
+        cand_receivers: np.ndarray,
+    ) -> np.ndarray:
+        """Batched :meth:`feasible_with_addition`: one bool per candidate.
+
+        ``out[c]`` answers "would the slot ``senders/receivers`` stay
+        feasible if candidate ``c`` (alone) joined it?" for every candidate
+        in one pair of gain-matrix slices (data and ACK sub-slots) instead
+        of ``n_c`` full re-evaluations.  Candidates are hypothetical
+        *alternatives*, not a batch admitted together.
+        """
+        beta = self.radio.beta
+        noise = self.radio.noise_mw
+        cand_data, member_data = sinr_with_candidates(
+            self.power, senders, receivers, cand_senders, cand_receivers,
+            noise, budget_mw=self.budget_mw,
+        )
+        cand_ack, member_ack = sinr_with_candidates(
+            self.power, receivers, senders, cand_receivers, cand_senders,
+            noise, budget_mw=self.budget_mw,
+        )
+        ok = (cand_data >= beta) & (cand_ack >= beta)
+        if member_data.shape[1]:
+            ok &= (member_data >= beta).all(axis=1)
+            ok &= (member_ack >= beta).all(axis=1)
+        return ok
 
     def sense_mask(self, transmitters: np.ndarray) -> np.ndarray:
         """Which nodes carrier-sense activity given concurrent transmitters?

@@ -102,6 +102,49 @@ class SlotState:
                 return False
         return True
 
+    def feasible_with(
+        self, cand_senders: np.ndarray, cand_receivers: np.ndarray
+    ) -> np.ndarray:
+        """Batched :meth:`can_add`: one bool per candidate, state untouched.
+
+        Vectorizes over candidates while looping over members, so every
+        float accumulation happens in exactly :meth:`can_add`'s member
+        order — the verdicts are bit-identical, which the batched greedy
+        and patch paths rely on.  Candidates are alternatives evaluated
+        independently, not a set admitted together.
+        """
+        cs = np.asarray(cand_senders, dtype=np.intp)
+        cr = np.asarray(cand_receivers, dtype=np.intp)
+        if cs.shape != cr.shape or cs.ndim != 1:
+            raise ValueError("candidate senders and receivers must be equal-length 1-D arrays")
+        p = self._power
+        noise = self._noise
+        beta = self._beta
+        budget = self._budget
+
+        ok = cs != cr
+        shared = np.zeros(cs.shape, dtype=bool)
+        new_data_interf = np.zeros(cs.shape, dtype=float)
+        new_ack_interf = np.zeros(cs.shape, dtype=float)
+        for s_k, r_k in zip(self.senders, self.receivers):
+            shared |= (cs == s_k) | (cs == r_k) | (cr == s_k) | (cr == r_k)
+            new_data_interf += p[s_k, cr]
+            new_ack_interf += p[r_k, cs]
+        ok &= ~shared
+        data_noise = noise if budget is None else noise + budget[cr]
+        ack_noise = noise if budget is None else noise + budget[cs]
+        ok &= ~(p[cs, cr] < beta * (data_noise + new_data_interf))
+        ok &= ~(p[cr, cs] < beta * (ack_noise + new_ack_interf))
+
+        for k, (s_k, r_k) in enumerate(zip(self.senders, self.receivers)):
+            data_interf = self._data_interf[k] + p[cs, r_k]
+            member_data_noise = noise if budget is None else noise + budget[r_k]
+            ok &= ~(p[s_k, r_k] < beta * (member_data_noise + data_interf))
+            ack_interf = self._ack_interf[k] + p[cr, s_k]
+            member_ack_noise = noise if budget is None else noise + budget[s_k]
+            ok &= ~(p[r_k, s_k] < beta * (member_ack_noise + ack_interf))
+        return ok
+
     def add(self, sender: int, receiver: int) -> None:
         """Add the link unconditionally, updating interference sums."""
         p = self._power
@@ -153,6 +196,82 @@ class SlotState:
     def rate_sum(self, table) -> int:
         """Total packets per slot the current member set carries."""
         return int(self.member_rates(table).sum())
+
+
+def slots_can_add(
+    states: list[SlotState], sender: int, receiver: int
+) -> np.ndarray:
+    """One candidate against many slots: ``out[j] == states[j].can_add(...)``.
+
+    The transpose of :meth:`SlotState.feasible_with` — vectorizes the
+    per-(link, slot) admission test over the *slot* axis.  All member
+    arrays are concatenated once and the per-slot interference sums fall
+    out of ``np.bincount`` segment sums, whose C loop accumulates weights
+    in input order — the same member order :meth:`SlotState.can_add` sums
+    in, keeping the verdicts bit-identical.  Empty slots reduce to the
+    standalone check, exactly as ``can_add`` on a fresh state does.
+
+    All states must be bound to the same interference model (one power
+    matrix / noise / β / budget); the schedulers that batch through here
+    build every slot from a single model.
+    """
+    n = len(states)
+    out = np.zeros(n, dtype=bool)
+    if n == 0:
+        return out
+    if sender == receiver:
+        return out
+    st0 = states[0]
+    p = st0._power
+    noise = st0._noise
+    beta = st0._beta
+    budget = st0._budget
+
+    sid: list[int] = []
+    ms: list[int] = []
+    mr: list[int] = []
+    di: list[float] = []
+    ai: list[float] = []
+    for j, state in enumerate(states):
+        count = len(state.senders)
+        sid.extend([j] * count)
+        ms.extend(state.senders)
+        mr.extend(state.receivers)
+        di.extend(state._data_interf)
+        ai.extend(state._ack_interf)
+
+    data_noise = noise if budget is None else noise + budget[receiver]
+    ack_noise = noise if budget is None else noise + budget[sender]
+    if not sid:
+        # Every slot is empty: the verdict is the standalone check.
+        alone = not (
+            p[sender, receiver] < beta * data_noise
+            or p[receiver, sender] < beta * ack_noise
+        )
+        out[:] = alone
+        return out
+
+    slot_id = np.asarray(sid, dtype=np.intp)
+    msnd = np.asarray(ms, dtype=np.intp)
+    mrcv = np.asarray(mr, dtype=np.intp)
+    data_interf = np.asarray(di, dtype=float)
+    ack_interf = np.asarray(ai, dtype=float)
+
+    shared = (msnd == sender) | (msnd == receiver) | (mrcv == sender) | (mrcv == receiver)
+    shared_per_slot = np.bincount(slot_id, weights=shared, minlength=n) > 0
+
+    new_data_interf = np.bincount(slot_id, weights=p[msnd, receiver], minlength=n)
+    new_ack_interf = np.bincount(slot_id, weights=p[mrcv, sender], minlength=n)
+    cand_ok = ~(p[sender, receiver] < beta * (data_noise + new_data_interf))
+    cand_ok &= ~(p[receiver, sender] < beta * (ack_noise + new_ack_interf))
+
+    member_data_noise = noise if budget is None else noise + budget[mrcv]
+    member_ack_noise = noise if budget is None else noise + budget[msnd]
+    bad = p[msnd, mrcv] < beta * (member_data_noise + (data_interf + p[sender, mrcv]))
+    bad |= p[mrcv, msnd] < beta * (member_ack_noise + (ack_interf + p[receiver, msnd]))
+    member_bad = np.bincount(slot_id, weights=bad, minlength=n) > 0
+
+    return cand_ok & ~shared_per_slot & ~member_bad
 
 
 def schedule_is_feasible(

@@ -16,7 +16,7 @@ from typing import Callable
 import numpy as np
 
 from repro.phy.interference import PhysicalInterferenceModel
-from repro.scheduling.feasibility import SlotState
+from repro.scheduling.feasibility import SlotState, slots_can_add
 from repro.scheduling.links import LinkSet
 from repro.scheduling.orderings import EDGE_ORDERINGS
 from repro.scheduling.schedule import Schedule, Slot
@@ -59,23 +59,43 @@ def greedy_physical(
     schedule = Schedule(link_set=links)
     states: list[SlotState] = []
 
-    for k in order:
-        k = int(k)
+    demanded = [int(k) for k in order if int(links.demand[int(k)]) > 0]
+    if not demanded:
+        return schedule
+
+    # Batched standalone screen: a link that cannot decode alone fails
+    # every per-slot test and would raise the moment it opened a fresh
+    # slot — catching the first such link (in allocation order) up front
+    # reproduces the incremental loop's error exactly.
+    idx = np.asarray(demanded, dtype=np.intp)
+    alone = SlotState(model).feasible_with(links.heads[idx], links.tails[idx])
+    if not alone.all():
+        bad = int(idx[int(np.flatnonzero(~alone)[0])])
+        raise ValueError(
+            f"link {int(links.heads[bad])}->{int(links.tails[bad])} is infeasible "
+            "even alone; it is not a valid communication edge"
+        )
+
+    for k in demanded:
         remaining = int(links.demand[k])
         sender = int(links.heads[k])
         receiver = int(links.tails[k])
-        slot_idx = 0
-        while remaining > 0:
-            if slot_idx == len(states):
-                states.append(SlotState(model))
-                schedule.slots.append(Slot())
-                if not states[slot_idx].can_add(sender, receiver):
-                    raise ValueError(
-                        f"link {sender}->{receiver} is infeasible even alone; "
-                        "it is not a valid communication edge"
-                    )
-            if states[slot_idx].try_add(sender, receiver):
-                schedule.slots[slot_idx].add(k)
+        # One batched admission pass over the existing slots: adding this
+        # link to slot j never changes slot j' (states are independent), so
+        # the precomputed verdicts match the incremental slot-by-slot scan.
+        if states:
+            for j in np.flatnonzero(slots_can_add(states, sender, receiver)):
+                if remaining <= 0:
+                    break
+                states[j].add(sender, receiver)
+                schedule.slots[j].add(k)
                 remaining -= 1
-            slot_idx += 1
+        while remaining > 0:
+            state = SlotState(model)
+            state.add(sender, receiver)
+            states.append(state)
+            slot = Slot()
+            slot.add(k)
+            schedule.slots.append(slot)
+            remaining -= 1
     return schedule

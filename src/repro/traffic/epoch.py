@@ -205,6 +205,16 @@ class TrafficTrace:
     0.0 — when the platform provides no per-thread CPU clock
     (:data:`repro.obs.spans.CPU_CLOCK`), so "not measured" can never be
     mistaken for "free"; tables render the un-instrumented case as ``~``.
+
+    ``scheduling_wall_seconds`` is the elapsed (``perf_counter``) time the
+    *simulation host* spent in the scheduling phase each epoch, summed over
+    the run — the number a process-pool backend actually improves.  For
+    the monolithic loop it brackets ``scheduling_seconds`` from above
+    (one thread, so wall >= CPU); for the sharded engine it measures the
+    whole fan-out, dispatch and serialization included, and approaches
+    ``critical_path_seconds`` only when the host has enough cores to run
+    every shard concurrently.  Always measured (perf_counter needs no
+    platform support) — ``None`` only on traces predating the field.
     """
 
     config: EpochConfig
@@ -213,6 +223,7 @@ class TrafficTrace:
     queues: LinkQueues | None = None
     scheduling_seconds: float | None = None
     critical_path_seconds: float | None = None
+    scheduling_wall_seconds: float | None = None
     #: In-band control-plane account of the run, or ``None`` when the
     #: engine ran unpriced (no ``control=`` model given).
     ledger: ControlLedger | None = None
@@ -599,6 +610,7 @@ def run_epochs(
     if obs_spans.CPU_CLOCK is not None:
         trace.scheduling_seconds = 0.0
         trace.critical_path_seconds = 0.0
+    trace.scheduling_wall_seconds = 0.0
     T = cfg.epoch_slots
 
     for epoch in range(cfg.n_epochs):
@@ -632,6 +644,8 @@ def run_epochs(
             if sched_span.cpu_s is not None and trace.scheduling_seconds is not None:
                 trace.scheduling_seconds += sched_span.cpu_s
                 trace.critical_path_seconds += sched_span.cpu_s
+            if sched_span.wall_s is not None:
+                trace.scheduling_wall_seconds += sched_span.wall_s
             if cache is not None and cache.last_decision is not None:
                 decision = cache.last_decision
                 cache_hit = decision.hit

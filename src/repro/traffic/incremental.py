@@ -48,7 +48,7 @@ import numpy as np
 
 from repro.obs import phase
 from repro.phy.interference import PhysicalInterferenceModel
-from repro.scheduling.feasibility import SlotState
+from repro.scheduling.feasibility import SlotState, slots_can_add
 from repro.scheduling.links import LinkSet
 from repro.scheduling.schedule import Schedule, Slot
 from repro.traffic.epoch import EpochSchedule, EpochSchedulerFn
@@ -252,10 +252,16 @@ def patch_schedule(
         k = int(k)
         sender, receiver = int(links.heads[k]), int(links.tails[k])
         remaining = int(deficit[k])
-        for state, slot in zip(states, slots):
-            if remaining <= 0:
-                break
-            if k not in slot and state.try_add(sender, receiver):
+        if states:
+            # One batched admission pass (slots are independent, so the
+            # verdicts computed before this link's insertions match the
+            # incremental slot-by-slot scan).  A slot already containing
+            # ``k`` shares both endpoints and is rejected by the mask.
+            for j in np.flatnonzero(slots_can_add(states, sender, receiver)):
+                if remaining <= 0:
+                    break
+                state, slot = states[j], slots[j]
+                state.add(sender, receiver)
                 slot.add(k)
                 # The newest member is last in the state's member order.
                 granted = 1 if table is None else int(state.member_rates(table)[-1])

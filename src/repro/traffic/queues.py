@@ -75,6 +75,23 @@ class LinkQueues:
         self.delays: list[int] = []  # per delivered packet, in slots
         self.births: list[int] = []  # per delivered packet, its birth slot
         self.sources: list[int] = []  # per delivered packet, its entry link
+        #: Set by :meth:`mark_unusable` when an engine aborted mid-epoch
+        #: with this object half-mutated; ``None`` means healthy.
+        self.unusable_reason: str | None = None
+
+    def mark_unusable(self, reason: str) -> None:
+        """Poison these queues: an engine died between booking arrivals and
+        serving them, so the conservation invariant no longer describes a
+        completed prefix of epochs.  Every subsequent :meth:`arrive` /
+        :meth:`serve_slot` raises ``RuntimeError`` carrying ``reason``
+        rather than quietly extending a corrupt trace."""
+        self.unusable_reason = str(reason)
+
+    def _check_usable(self) -> None:
+        if self.unusable_reason is not None:
+            raise RuntimeError(
+                f"queues are unusable — a run aborted mid-epoch: {self.unusable_reason}"
+            )
 
     @property
     def n_links(self) -> int:
@@ -89,6 +106,7 @@ class LinkQueues:
         ``node_arrivals`` is indexed by node; nodes that head no link
         (gateways) must have zero arrivals.
         """
+        self._check_usable()
         counts = np.asarray(node_arrivals, dtype=np.int64)
         if np.any(counts < 0):
             raise ValueError("arrival counts must be non-negative")
@@ -125,6 +143,7 @@ class LinkQueues:
         first and routed after, so a packet cannot traverse two hops within
         one slot.  Returns the number of packets served (packet-hops).
         """
+        self._check_usable()
         idx = np.asarray(link_indices, dtype=np.intp)
         moves: list[tuple[int, int, int]] = []  # (next link or -1, birth, source)
         if rates is None:

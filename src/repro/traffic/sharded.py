@@ -45,7 +45,9 @@ its own RNG substream and the superposition is assembled in shard order, so
 from __future__ import annotations
 
 import math
-from concurrent.futures import ThreadPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
@@ -55,7 +57,7 @@ from repro.core.controlplane import ControlLedger, ControlPlaneModel, forest_dep
 from repro.obs import DeliveryStream, Obs, phase
 from repro.obs import spans as obs_spans
 from repro.phy.interference import PhysicalInterferenceModel
-from repro.scheduling.feasibility import SlotState
+from repro.scheduling.feasibility import SlotState, slots_can_add
 from repro.scheduling.links import LinkSet
 from repro.topology.regions import GridTiling
 from repro.traffic.epoch import (
@@ -296,16 +298,28 @@ ShardSchedulerFactory = Callable[
 ]
 
 
+@dataclass(frozen=True)
+class _CentralizedShardFactory:
+    """Picklable :data:`ShardSchedulerFactory`: GreedyPhysical per shard.
+
+    A plain class (not a closure) so ``executor="process"`` can ship the
+    factory to pool workers; the per-shard scheduler itself is built inside
+    whichever process calls the factory and is never pickled.
+    """
+
+    ordering: str = "id"
+
+    def __call__(
+        self, shard: LinkShard, shard_model: PhysicalInterferenceModel
+    ) -> EpochSchedulerFn:
+        from repro.traffic.epoch import centralized_scheduler
+
+        return centralized_scheduler(shard_model, self.ordering)
+
+
 def sharded_centralized_factory(ordering: str = "id") -> ShardSchedulerFactory:
     """Per-shard GreedyPhysical on the shard's budgeted oracle."""
-    from repro.traffic.epoch import centralized_scheduler
-
-    def factory(
-        shard: LinkShard, shard_model: PhysicalInterferenceModel
-    ) -> EpochSchedulerFn:
-        return centralized_scheduler(shard_model, ordering)
-
-    return factory
+    return _CentralizedShardFactory(ordering)
 
 
 def sharded_distributed_factory(
@@ -344,19 +358,48 @@ def sharded_distributed_factory(
     ``("epoch", e)`` derivation on the full network, keeping the
     equivalence harness honest.
     """
-    from dataclasses import replace as dc_replace
-
     from repro.core.config import ProtocolConfig
     from repro.core.timing import TimingModel
-    from repro.util.rng import freeze_root, spawn
+    from repro.util.rng import freeze_root
 
     cfg = config or ProtocolConfig()
     price = timing or TimingModel(scream_bytes=cfg.smbytes)
     root = freeze_root(seed)
+    return _DistributedShardFactory(
+        network=network, protocol=protocol, cfg=cfg, price=price, root=root
+    )
 
-    def factory(
-        shard: LinkShard, shard_model: PhysicalInterferenceModel
+
+@dataclass(frozen=True)
+class _DistributedShardFactory:
+    """Picklable :data:`ShardSchedulerFactory` behind
+    :func:`sharded_distributed_factory`.
+
+    Carries only picklable state (the network, a module-level protocol
+    function, resolved configs, and the *frozen* RNG root — a pure integer
+    whose ``spawn`` derivations are identical in any process), so
+    ``executor="process"`` workers rebuild bit-identical per-shard
+    schedulers from it.
+    """
+
+    network: object
+    protocol: Callable[..., object]
+    cfg: object
+    price: object
+    root: object
+
+    def __call__(
+        self, shard: LinkShard, shard_model: PhysicalInterferenceModel
     ) -> EpochSchedulerFn:
+        from dataclasses import replace as dc_replace
+
+        from repro.util.rng import spawn
+
+        network = self.network
+        protocol = self.protocol
+        cfg = self.cfg
+        price = self.price
+        root = self.root
         if shard.n_shards == 1:
 
             def schedule(links: LinkSet, epoch: int) -> EpochSchedule:
@@ -432,23 +475,32 @@ def sharded_distributed_factory(
 
         return schedule
 
-    return factory
-
 
 def reconcile_round(
     combined: list[np.ndarray],
     links: LinkSet,
     model: PhysicalInterferenceModel,
+    table=None,
 ) -> tuple[list[np.ndarray], int]:
     """Detect and serialize cross-shard violations in a superposed round.
 
     Each combined slot is re-checked under the exact (unbudgeted) global
-    model.  While a slot is infeasible, the failing link with the smallest
-    SINR margin is peeled out (ties broken by position, deterministically);
+    model.  While a slot is infeasible, one failing link is peeled out;
     every peeled membership is then re-packed greedily into *overflow*
     slots appended to the round — :class:`SlotState` feasibility first, a
     dedicated slot as the last resort — i.e. the residual budget violations
     are serialized rather than dropped, at the price of a longer round.
+
+    Without a ``table`` the peel order is lowest SINR margin first (ties
+    broken by position, deterministically).  With a
+    :class:`~repro.phy.radio.RateTable` the victim is the failing link
+    whose removal costs the slot the *fewest delivered packets* — the
+    leave-one-out rate loss under the table, which accounts both for the
+    victim's own rate and for the tier upgrades its removal buys the
+    survivors; margin (then position) breaks ties.  The degenerate
+    single-tier table makes every removal cost exactly one packet, so the
+    selection collapses to the margin order bit-for-bit — the equivalence
+    anchor ``test_multirate_equivalence.py`` locks down.
 
     Returns the reconciled slot arrays and the number of memberships moved.
     """
@@ -466,7 +518,28 @@ def reconcile_round(
             if (margin >= 1.0).all():
                 break
             failing = np.flatnonzero(margin < 1.0)
-            worst = failing[int(np.argmin(margin[failing]))]
+            if table is None:
+                worst = failing[int(np.argmin(margin[failing]))]
+            else:
+                total = int(
+                    model.link_rates(heads[members], tails[members], table).sum()
+                )
+
+                def rate_loss(j: int) -> int:
+                    rest = np.delete(members, j)
+                    if rest.size == 0:
+                        return total
+                    kept = int(
+                        model.link_rates(heads[rest], tails[rest], table).sum()
+                    )
+                    return total - kept
+
+                # min() scans ``failing`` in ascending position, so ties on
+                # (loss, margin) resolve to the first position — the same
+                # tie-break argmin applies on the rate-blind path.
+                worst = int(
+                    min(failing, key=lambda j: (rate_loss(int(j)), margin[j]))
+                )
             peeled.append(int(members[worst]))
             members = np.delete(members, worst)
         if members.size:
@@ -481,16 +554,28 @@ def reconcile_round(
     # state marks a *closed* slot: its link fails SINR even alone under the
     # exact model (it was being served on faith by its shard), so a
     # dedicated slot is the closest serialization — and nothing may join
-    # it, since its interference was never evaluated.
+    # it, since its interference was never evaluated.  The admission tests
+    # run through the batched :func:`slots_can_add` kernel — one pass over
+    # the open slots per membership, bit-identical to the per-slot scan.
     states: list[SlotState | None] = []
     overflow: list[list[int]] = []
     for k in sorted(peeled):
         sender, receiver = int(heads[k]), int(tails[k])
-        for state, slot in zip(states, overflow):
-            if state is not None and k not in slot and state.try_add(sender, receiver):
-                slot.append(k)
+        open_idx = [j for j, state in enumerate(states) if state is not None]
+        placed = False
+        if open_idx:
+            mask = slots_can_add(
+                [states[j] for j in open_idx], sender, receiver
+            )
+            for pos in np.flatnonzero(mask):
+                j = open_idx[int(pos)]
+                if k in overflow[j]:
+                    continue
+                states[j].add(sender, receiver)
+                overflow[j].append(k)
+                placed = True
                 break
-        else:
+        if not placed:
             state = SlotState(model)
             states.append(state if state.try_add(sender, receiver) else None)
             overflow.append([k])
@@ -505,6 +590,106 @@ class ShardedTrafficTrace(TrafficTrace):
     plan: ShardPlan | None = None
 
 
+class ShardScheduleError(RuntimeError):
+    """One shard's scheduler raised mid-epoch.
+
+    Annotates the underlying failure with *which* shard and epoch so a
+    multi-shard fan-out (thread or process pool) doesn't abort the run
+    anonymously.  :func:`run_epochs_sharded` raises it before any serving
+    mutates the epoch's served/delivered accounting and marks the run's
+    queues unusable (arrivals were already booked, so the half-mutated
+    state must not be read as a trace).
+    """
+
+    def __init__(self, shard_index: int, epoch: int, cause: BaseException):
+        super().__init__(
+            f"shard {shard_index} scheduler failed at epoch {epoch}: {cause!r}"
+        )
+        self.shard_index = shard_index
+        self.epoch = epoch
+
+
+# ``executor="process"`` worker state: one scheduler per shard, built
+# lazily from the pickled factory on the worker's first task for that
+# shard and reused across epochs (mirroring the parent's per-shard
+# scheduler list).  Module-level because pool initializers cannot return
+# state.
+_WORKER_STATE: dict = {}
+
+
+def _process_worker_init(
+    factory: ShardSchedulerFactory,
+    shards: tuple[LinkShard, ...],
+    model: PhysicalInterferenceModel,
+) -> None:
+    _WORKER_STATE["factory"] = factory
+    _WORKER_STATE["model"] = model
+    _WORKER_STATE["shards"] = {shard.index: shard for shard in shards}
+    _WORKER_STATE["schedulers"] = {}
+
+
+def _process_warmup() -> bool:
+    # Prespawn barrier task (see run_epochs_sharded): held just long
+    # enough that every concurrently submitted warmup lands on a distinct
+    # worker process.
+    time.sleep(0.05)
+    return True
+
+
+def _process_shard_task(
+    shard_index: int, demand: np.ndarray, epoch: int
+) -> tuple[EpochSchedule, float]:
+    """Run one shard's scheduler in a pool worker.
+
+    Ships in only the demand snapshot + epoch; ships out the schedule and
+    the child's ``time.process_time`` delta so the parent can merge real
+    child CPU into its ``sharded.schedule`` span and trace timing fields.
+    """
+    schedulers = _WORKER_STATE["schedulers"]
+    scheduler = schedulers.get(shard_index)
+    if scheduler is None:
+        shard = _WORKER_STATE["shards"][shard_index]
+        model = _WORKER_STATE["model"]
+        scheduler = _WORKER_STATE["factory"](
+            shard, model.with_budget(shard.budget_mw)
+        )
+        schedulers[shard_index] = scheduler
+    links = replace(_WORKER_STATE["shards"][shard_index].links, demand=demand)
+    cpu0 = time.process_time()
+    result = scheduler(links, epoch)
+    return result, time.process_time() - cpu0
+
+
+class _PoolShardScheduler:
+    """Parent-side stand-in for one shard's scheduler under
+    ``executor="process"``.
+
+    Satisfies the ``EpochSchedulerFn`` contract (so per-shard
+    :class:`~repro.traffic.incremental.ScheduleCache` wrapping, control
+    binding, and the epoch loop are oblivious to the backend) by shipping
+    the demand vector to the pool and blocking on the worker's result.
+    The child's process-CPU seconds for the last dispatched call surface
+    via :attr:`last_cpu_s` (``None`` when the cache answered without
+    dispatching).
+    """
+
+    def __init__(self, pool: ProcessPoolExecutor, shard_index: int):
+        self._pool = pool
+        self._shard_index = shard_index
+        self.last_cpu_s: float | None = None
+
+    def __call__(self, links: LinkSet, epoch: int) -> EpochSchedule:
+        future = self._pool.submit(
+            _process_shard_task,
+            self._shard_index,
+            np.asarray(links.demand),
+            epoch,
+        )
+        result, cpu_s = future.result()
+        self.last_cpu_s = cpu_s
+        return result
+
+
 def run_epochs_sharded(
     plan: ShardPlan,
     generator: TrafficGenerator,
@@ -515,6 +700,7 @@ def run_epochs_sharded(
     on_epoch: Callable[[EpochRecord, LinkQueues], None] | None = None,
     control: ControlPlaneModel | None = None,
     obs: Obs | None = None,
+    executor: str = "thread",
 ) -> ShardedTrafficTrace:
     """Run the closed traffic loop with per-shard scheduling; return its trace.
 
@@ -522,9 +708,28 @@ def run_epochs_sharded(
     is split along the plan; every shard with demand runs its scheduler
     (concurrently when ``max_workers > 1``) on its budgeted oracle; the
     shard schedules are superposed slot-by-slot and reconciled
-    (:func:`reconcile_round`); the reconciled round serves the global
-    queues through the same :func:`~repro.traffic.epoch.play_schedule`
-    primitive as the monolithic loop.
+    (:func:`reconcile_round`, rate-aware when ``config.rate_table`` is
+    set); the reconciled round serves the global queues through the same
+    :func:`~repro.traffic.epoch.play_schedule` primitive as the monolithic
+    loop.
+
+    ``executor`` selects the fan-out backend.  ``"thread"`` (the default)
+    runs shard schedulers on a thread pool — zero serialization cost, but
+    the GIL caps the *wall-clock* win at whatever numpy releases.
+    ``"process"`` dispatches each recompute to a ``ProcessPoolExecutor``:
+    workers are initialized once with the (picklable) factory, shards, and
+    model, each task ships only a demand snapshot + epoch in and an
+    :class:`~repro.traffic.epoch.EpochSchedule` + child
+    ``time.process_time`` seconds out.  Everything stateful — per-shard
+    :class:`~repro.traffic.incremental.ScheduleCache` instances, the round
+    memo, the :class:`~repro.core.controlplane.ControlLedger` — stays in
+    the parent, and shard RNG substreams are pure seed derivations, so
+    traces, obs bookings, and control charges are bit-identical across
+    backends; only wall-clock differs.  Child CPU is merged into the
+    parent's ``sharded.schedule`` spans, keeping ``scheduling_seconds`` /
+    ``critical_path_seconds`` comparable per backend (DESIGN.md §8);
+    ``scheduling_wall_seconds`` tracks the fan-out as the host actually
+    experienced it.
 
     *Overhead accounting*: shards compute in parallel in a federated
     deployment, so the epoch is charged the **maximum** of the shard
@@ -557,14 +762,43 @@ def run_epochs_sharded(
     cfg = config or EpochConfig()
     if max_workers < 1:
         raise ValueError("max_workers must be >= 1")
+    if executor not in ("thread", "process"):
+        raise ValueError(
+            f"executor must be 'thread' or 'process', got {executor!r}"
+        )
     ledger = ControlLedger(control) if control is not None else None
     depths = forest_depths(plan.links) if ledger is not None else None
 
+    process_pool: ProcessPoolExecutor | None = None
+    if executor == "process":
+        process_pool = ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_process_worker_init,
+            initargs=(scheduler_factory, plan.shards, model),
+        )
+        # Prespawn every worker now, from the main thread: forking after
+        # the orchestration threads exist risks inheriting their held
+        # locks, and lazy startup would bill fork+init to the first
+        # epoch's measured wall-clock.
+        futures_wait(
+            [process_pool.submit(_process_warmup) for _ in range(max_workers)]
+        )
+
     schedulers: list[EpochSchedulerFn] = []
     caches: list[ScheduleCache | None] = []
+    proxies: list[_PoolShardScheduler | None] = []
     for shard in plan.shards:
         shard_model = model.with_budget(shard.budget_mw)
-        scheduler = scheduler_factory(shard, shard_model)
+        if process_pool is not None:
+            # The factory runs inside the workers; the parent sees only
+            # this dispatching stand-in (cache wrapping below still
+            # happens here, so caching decisions stay deterministic).
+            scheduler: EpochSchedulerFn = _PoolShardScheduler(
+                process_pool, shard.index
+            )
+        else:
+            scheduler = scheduler_factory(shard, shard_model)
+        proxies.append(scheduler if isinstance(scheduler, _PoolShardScheduler) else None)
         cache = scheduler if isinstance(scheduler, ScheduleCache) else None
         if cache is None and cfg.reschedule_policy != "always":
             cache = ScheduleCache(
@@ -630,8 +864,13 @@ def run_epochs_sharded(
     if obs_spans.CPU_CLOCK is not None:
         trace.scheduling_seconds = 0.0
         trace.critical_path_seconds = 0.0
+    # Wall-clock needs only perf_counter, which is always available.
+    trace.scheduling_wall_seconds = 0.0
     T = cfg.epoch_slots
-    executor = ThreadPoolExecutor(max_workers=max_workers) if max_workers > 1 else None
+    # The thread pool fans the dispatch out even under the process
+    # backend: each orchestration thread runs the (cheap) cache decision,
+    # then blocks on its worker's future, releasing the GIL.
+    pool = ThreadPoolExecutor(max_workers=max_workers) if max_workers > 1 else None
     # Reconciled-round memo: when every asked shard answers from its cache,
     # each returned exactly what it returned last epoch, so the superposed
     # round — and its reconciliation — are identical too.  Keyed on the
@@ -669,7 +908,13 @@ def run_epochs_sharded(
                     # Per-thread CPU time: what this shard's controller
                     # computed, independent of how many sibling shards were
                     # time-slicing the same simulation host.  The span runs
-                    # on the worker thread, so its CPU clock is the shard's.
+                    # on the worker thread, so its CPU clock is the shard's;
+                    # under the process backend the child's process-CPU
+                    # seconds are merged in on top of the (small) dispatch
+                    # cost, so the trace timing fields stay comparable.
+                    proxy = proxies[shard.index]
+                    if proxy is not None:
+                        proxy.last_cpu_s = None
                     with phase(
                         obs,
                         "sharded.schedule",
@@ -678,13 +923,28 @@ def run_epochs_sharded(
                         epoch=epoch,
                         shard=shard.index,
                     ) as span:
-                        result = schedulers[shard.index](demand_links, epoch)
+                        try:
+                            result = schedulers[shard.index](demand_links, epoch)
+                        except Exception as exc:
+                            raise ShardScheduleError(
+                                shard.index, epoch, exc
+                            ) from exc
+                        if proxy is not None and proxy.last_cpu_s is not None:
+                            span.add_cpu(proxy.last_cpu_s)
                     return result, span.cpu_s
 
-                if executor is not None:
-                    timed = list(executor.map(run_shard, asked))
-                else:
-                    timed = [run_shard(shard) for shard in asked]
+                wall0 = time.perf_counter()
+                try:
+                    if pool is not None:
+                        timed = list(pool.map(run_shard, asked))
+                    else:
+                        timed = [run_shard(shard) for shard in asked]
+                except ShardScheduleError as err:
+                    # Arrivals for this epoch are already booked; nothing
+                    # may read these queues as if the epoch completed.
+                    queues.mark_unusable(str(err))
+                    raise
+                trace.scheduling_wall_seconds += time.perf_counter() - wall0
                 planned = [p for p, _ in timed]
                 # Sum = compute the simulation performed; max = wall-clock
                 # of the epoch's scheduling phase when every region runs on
@@ -763,7 +1023,7 @@ def run_epochs_sharded(
                             obs, "sharded.reconcile", engine="sharded", epoch=epoch
                         ):
                             combined, reconciled = reconcile_round(
-                                combined, plan.links, model
+                                combined, plan.links, model, table=cfg.rate_table
                             )
                         if ledger is not None:
                             # Boundary reports: every demanded boundary link
@@ -784,6 +1044,14 @@ def run_epochs_sharded(
                             ledger.charge(
                                 epoch, "sharded", "reconcile", reconciled
                             )
+                    # The memo hands these exact arrays back to later
+                    # epochs' serving; freeze them so any accidental
+                    # mutation between replays raises instead of silently
+                    # corrupting the memoized round.  (Every entry is a
+                    # fresh fancy-index / concatenate / delete result, so
+                    # nothing else aliases them.)
+                    for arr in combined:
+                        arr.flags.writeable = False
                 round_memo = (asked_key, combined, reconciled)
 
                 schedule_length = len(combined)
@@ -847,7 +1115,9 @@ def run_epochs_sharded(
                 trace.diverged = True
                 break
     finally:
-        if executor is not None:
-            executor.shutdown(wait=False)
+        if pool is not None:
+            pool.shutdown(wait=False)
+        if process_pool is not None:
+            process_pool.shutdown(wait=False, cancel_futures=True)
     finish_run_obs(obs, trace, engine="sharded")
     return trace

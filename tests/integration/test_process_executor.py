@@ -1,0 +1,260 @@
+"""Differential tests for the sharded engine's process-pool backend.
+
+``executor="process"`` changes *where* shard schedulers run, never *what*
+they produce: every stateful object (per-shard caches, the round memo, the
+control ledger, the queues) stays in the parent, workers receive only a
+demand snapshot + epoch and return an ``EpochSchedule`` + their CPU
+seconds.  These tests pin the contract:
+
+* serial / thread-pool / process-pool runs are bit-identical — records,
+  per-packet delays, final backlogs — on the degenerate 1-shard plan and
+  on a real 4-shard plan, for every reschedule policy, and for both the
+  centralized and the distributed (FDD) factories;
+* everything the pool must ship — :class:`LinkShard`, both scheduler
+  factories — survives a pickle round-trip and still builds working,
+  deterministic schedulers;
+* a shard scheduler blowing up surfaces as :class:`ShardScheduleError`
+  naming the shard and epoch, *before* the epoch's serving mutates the
+  delivery accounting, and poisons the queues against further use;
+* memoized rounds replay bit-identically: the slot arrays the round memo
+  hands back are frozen, so the engine would raise (instead of silently
+  corrupting later replays) if any serving path wrote to them.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.fdd import fdd_on_network
+from repro.experiments.common import PAPER_PROTOCOL
+from repro.routing import build_routing_forest, planned_gateways
+from repro.scheduling.links import forest_link_set
+from repro.topology.network import grid_network
+from repro.traffic import (
+    EpochConfig,
+    PoissonArrivals,
+    ShardScheduleError,
+    plan_for_network,
+    run_epochs_sharded,
+    sharded_centralized_factory,
+    sharded_distributed_factory,
+)
+from repro.traffic.epoch import centralized_scheduler
+from repro.util.rng import spawn
+
+
+class ExplodingFactory:
+    """Picklable factory whose shard-1 scheduler raises at ``fail_epoch``."""
+
+    def __init__(self, fail_epoch: int):
+        self.fail_epoch = fail_epoch
+
+    def __call__(self, shard, shard_model):
+        inner = centralized_scheduler(shard_model)
+        fail_epoch = self.fail_epoch
+        fail_here = shard.index == 1
+
+        def scheduler(links, epoch):
+            if fail_here and epoch >= fail_epoch:
+                raise ValueError("synthetic shard meltdown")
+            return inner(links, epoch)
+
+        return scheduler
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    network = grid_network(8, 8, density_per_km2=1000.0)
+    gateways = planned_gateways(8, 8, 4)
+    forest = build_routing_forest(network.comm_adj, gateways, rng=spawn(31, "f"))
+    links = forest_link_set(forest, np.zeros(network.n_nodes, dtype=np.int64))
+    return network, gateways, links
+
+
+def _generator(network, gateways, rate=0.012):
+    return PoissonArrivals(
+        network.n_nodes, rate, gateways=gateways, seed=spawn(31, "g")
+    )
+
+
+def _run(mesh, *, n_shards, policy, executor, workers, factory=None, epochs=4):
+    network, gateways, links = mesh
+    plan = plan_for_network(
+        links, network, n_shards=n_shards, interference_radius_m=80.0
+    )
+    config = EpochConfig(
+        epoch_slots=150,
+        n_epochs=epochs,
+        divergence_factor=4.0,
+        reschedule_policy=policy,
+    )
+    return run_epochs_sharded(
+        plan,
+        _generator(network, gateways),
+        factory if factory is not None else sharded_centralized_factory(),
+        network.model,
+        config,
+        max_workers=workers,
+        executor=executor,
+    )
+
+
+def assert_traces_identical(a, b):
+    assert a.records == b.records
+    assert a.diverged == b.diverged
+    assert np.array_equal(a.queues.delay_array(), b.queues.delay_array())
+    assert np.array_equal(a.queues.backlog, b.queues.backlog)
+    a.queues.check_conservation()
+
+
+@pytest.mark.parametrize("policy", ["always", "drift-threshold", "patch"])
+def test_process_backend_bit_identical_four_shards(mesh, policy):
+    serial = _run(mesh, n_shards=4, policy=policy, executor="thread", workers=1)
+    threaded = _run(mesh, n_shards=4, policy=policy, executor="thread", workers=4)
+    pooled = _run(mesh, n_shards=4, policy=policy, executor="process", workers=4)
+    assert_traces_identical(serial, threaded)
+    assert_traces_identical(serial, pooled)
+    # The process backend really measured something on every path.
+    assert pooled.scheduling_wall_seconds is not None
+    assert pooled.scheduling_wall_seconds > 0.0
+    assert serial.scheduling_wall_seconds is not None
+
+
+def test_process_backend_bit_identical_single_shard(mesh):
+    threaded = _run(mesh, n_shards=1, policy="always", executor="thread", workers=1)
+    pooled = _run(mesh, n_shards=1, policy="always", executor="process", workers=2)
+    assert_traces_identical(threaded, pooled)
+
+
+def test_process_backend_bit_identical_distributed_fdd(mesh):
+    network, _, _ = mesh
+    factory = sharded_distributed_factory(
+        network, fdd_on_network, config=PAPER_PROTOCOL, seed=31
+    )
+    threaded = _run(
+        mesh, n_shards=4, policy="always", executor="thread", workers=4,
+        factory=factory,
+    )
+    pooled = _run(
+        mesh, n_shards=4, policy="always", executor="process", workers=4,
+        factory=factory,
+    )
+    assert_traces_identical(threaded, pooled)
+
+
+def test_unknown_executor_rejected(mesh):
+    with pytest.raises(ValueError, match="executor"):
+        _run(mesh, n_shards=2, policy="always", executor="fibers", workers=2)
+
+
+def test_pool_payloads_pickle_round_trip(mesh):
+    """Everything the process pool ships survives pickling and still works."""
+    network, _, links = mesh
+    plan = plan_for_network(links, network, n_shards=4, interference_radius_m=80.0)
+    shard = plan.shards[0]
+    clone = pickle.loads(pickle.dumps(shard))
+    assert clone.index == shard.index and clone.tile == shard.tile
+    assert np.array_equal(clone.link_indices, shard.link_indices)
+    assert np.array_equal(clone.boundary, shard.boundary)
+    assert clone.n_shards == shard.n_shards
+    if shard.budget_mw is None:
+        assert clone.budget_mw is None
+    else:
+        assert np.array_equal(clone.budget_mw, shard.budget_mw)
+
+    from dataclasses import replace
+
+    demanded = replace(
+        shard.links, demand=np.ones(shard.links.n_links, dtype=np.int64)
+    )
+    shard_model = network.model.with_budget(shard.budget_mw)
+    for factory in (
+        sharded_centralized_factory(),
+        sharded_distributed_factory(
+            network, fdd_on_network, config=PAPER_PROTOCOL, seed=31
+        ),
+    ):
+        rebuilt = pickle.loads(pickle.dumps(factory))
+        original = factory(shard, shard_model)(demanded, 0)
+        cloned = rebuilt(clone, shard_model)(demanded, 0)
+        assert original.schedule.length == cloned.schedule.length
+        for a, b in zip(original.schedule.slots, cloned.schedule.slots):
+            assert a.as_array().tolist() == b.as_array().tolist()
+
+
+@pytest.mark.parametrize("executor,workers", [("thread", 2), ("process", 2)])
+def test_shard_scheduler_exception_is_annotated_and_poisons_queues(
+    mesh, executor, workers
+):
+    network, gateways, links = mesh
+    plan = plan_for_network(links, network, n_shards=4, interference_radius_m=80.0)
+    config = EpochConfig(epoch_slots=150, n_epochs=5, divergence_factor=4.0)
+    seen = {}
+
+    def on_epoch(record, queues):
+        seen["queues"] = queues
+        seen["epoch"] = record.epoch
+
+    with pytest.raises(ShardScheduleError) as err:
+        run_epochs_sharded(
+            plan,
+            _generator(network, gateways, rate=0.02),
+            ExplodingFactory(fail_epoch=2),
+            network.model,
+            config,
+            max_workers=workers,
+            executor=executor,
+            on_epoch=on_epoch,
+        )
+    assert err.value.shard_index == 1
+    assert err.value.epoch == 2
+    assert "shard 1" in str(err.value) and "epoch 2" in str(err.value)
+    assert "synthetic shard meltdown" in str(err.value)
+
+    # Epochs before the meltdown completed normally...
+    assert seen["epoch"] == 1
+    # ...and the half-mutated queues are poisoned against further use: the
+    # failing epoch's arrivals were booked but never served, so extending
+    # the trace would silently violate conservation.
+    queues = seen["queues"]
+    with pytest.raises(RuntimeError, match="unusable"):
+        queues.arrive(np.zeros(network.n_nodes, dtype=np.int64), 0)
+    with pytest.raises(RuntimeError, match="unusable"):
+        queues.serve_slot(np.array([], dtype=np.intp), 0)
+
+
+def test_memoized_rounds_replay_bit_identically(mesh):
+    """Round-memo replays: frozen slot arrays, deterministic serving.
+
+    With an effectively infinite drift threshold every epoch after the
+    first answers from cache, so the superposed round is replayed from the
+    memo each time.  The memo stores the *same* array objects it serves
+    from — they are frozen at creation, so this run completing at all
+    proves no serving path mutates them (numpy would raise on write), and
+    a second identical run pins the replay bit-identical end to end.
+    """
+    network, gateways, links = mesh
+    plan = plan_for_network(links, network, n_shards=4, interference_radius_m=80.0)
+    config = EpochConfig(
+        epoch_slots=150,
+        n_epochs=6,
+        divergence_factor=4.0,
+        reschedule_policy="drift-threshold",
+        drift_threshold=1e9,
+    )
+
+    def run():
+        return run_epochs_sharded(
+            plan,
+            _generator(network, gateways, rate=0.02),
+            sharded_centralized_factory(),
+            network.model,
+            config,
+            max_workers=2,
+        )
+
+    first, second = run(), run()
+    hits = sum(1 for r in first.records if r.cache_hit)
+    assert hits >= 3, "memo path never exercised — raise the drift threshold"
+    assert_traces_identical(first, second)
