@@ -29,6 +29,11 @@ BENCH = ExperimentProfile(
     traffic_lambdas=(0.006, 0.0145, 0.019),
     traffic_epochs=10,
     traffic_epoch_slots=300,
+    # E13 scale sweep: 2.5k and 10k nodes, dense baseline at both (10k is
+    # where the >=5x end-to-end win is asserted; the 10^5 point is full-only).
+    scale_grid_sides=(50, 100),
+    scale_dense_max_nodes=10_000,
+    scale_epochs=2,
     # Every bench run emits its observability run file (spans + metrics)
     # under benchmarks/results/<experiment>.jsonl; CI validates and
     # summarizes them (python -m repro.obs).  Passive by construction —

@@ -132,6 +132,20 @@ class ExperimentProfile:
     #: orders of magnitude above them (~2-8192x the 8-byte patch payload,
     #: i.e. ~16-64 kB per delta) — the sweep brackets it.
     controlplane_scale_factors: tuple[float, ...] = (1.0, 256.0, 2048.0, 8192.0)
+    #: E13 scale sweep (repro.experiments.scale): square grid side lengths
+    #: (node count = side^2; 316^2 ~ 10^5 nodes), the node-count ceiling for
+    #: the dense O(n^2) baseline (beyond it only the sparse backend runs —
+    #: the dense gain matrix alone is 8 GB at 10^5 nodes), deployment
+    #: density, epochs/slots for the served workload, offered arrivals
+    #: (packets per node per *epoch*), and gateway spacing (one gateway per
+    #: ``stride x stride`` block of the grid).
+    scale_grid_sides: tuple[int, ...] = (50, 100, 224, 316)
+    scale_dense_max_nodes: int = 10_000
+    scale_density_per_km2: float = 1000.0
+    scale_epochs: int = 2
+    scale_epoch_slots: int = 500
+    scale_arrival_rate: float = 1.0
+    scale_gateway_stride: int = 10
     #: Observability (repro.obs): instrumentation level for the engine runs
     #: an experiment performs ("off" | "metrics" | "spans") and, when set,
     #: the directory its JSONL run file (``<experiment>.jsonl``) is written
@@ -166,6 +180,9 @@ QUICK = ExperimentProfile(
     multirate_lambdas=(0.006, 0.019, 0.0265),
     multirate_epochs=5,
     controlplane_scale_factors=(1.0, 1024.0, 4096.0),
+    scale_grid_sides=(20, 32),
+    scale_dense_max_nodes=1100,
+    scale_epoch_slots=200,
 )
 
 #: The paper's protocol constants (Section VI-A).

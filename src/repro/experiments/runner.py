@@ -27,6 +27,7 @@ from repro.experiments import (
     heavy_traffic,
     mote_detection,
     multirate,
+    scale,
     schedule_quality,
     sharded,
     theory,
@@ -73,6 +74,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentProfile], TextTable]]] = {
     "multirate": (
         "E12 — adaptive multi-rate links: fixed-rate FDD vs rate-aware scheduling",
         multirate.multirate_experiment,
+    ),
+    "scale": (
+        "E13 — sparse interference at scale: nodes vs peak RSS vs epoch wall",
+        scale.scale_experiment,
     ),
     "mote-error": (
         "E1/Fig4 — SCREAM detection error vs SCREAM size (mote testbed)",

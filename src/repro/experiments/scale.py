@@ -1,0 +1,299 @@
+"""E13 — sparse interference at scale: the nodes-vs-RSS-vs-wall sweep.
+
+The dense pipeline materializes an ``(n, n)`` received-power matrix — 800 MB
+of float64 at 10^4 nodes, 80 GB at 10^5 — before a single slot is scheduled.
+The sparse backend (:mod:`repro.phy.sparse`) stores only the pairs within the
+interference cutoff radius (found by the :class:`~repro.phy.spatial.GridIndex`
+in O(n) expected time) and folds the truncated far field into a per-node
+noise-floor budget, so its footprint and build time scale with ``n``, not
+``n^2``.
+
+This experiment measures that trade end to end: for each grid side in
+``profile.scale_grid_sides`` it deploys a planned grid at fixed density and
+runs the *same* closed epoch engine (arrivals -> greedy schedule -> serve,
+:func:`repro.traffic.epoch.run_epochs` with streaming record retention) on
+both backends — dense only up to ``profile.scale_dense_max_nodes`` — and
+reports, per point: nonzeros stored, setup wall (gain model + communication
+graph + routing forest), engine wall, scheduling wall, *end-to-end per-epoch
+wall* ((setup + engine) / epochs — the number a deployment planner re-running
+the pipeline each reconfiguration actually waits), peak RSS, schedule length,
+and packets delivered.
+
+Every point runs in its own spawned subprocess so ``ru_maxrss`` is that
+point's genuine high-water mark (the parent's peak would be contaminated by
+whichever earlier point was largest); a do-nothing child calibrates the
+interpreter + import baseline that is subtracted out.
+
+Honesty note on schedule length: each backend builds its forest from its own
+communication graph and schedules under its own oracle.  At a finite cutoff
+the sparse model makes transmitters beyond the cutoff *exactly* invisible
+while the packing floor charges only the continuum far field, so the greedy
+packer exploits cutoff-spaced concurrency the dense model would veto — the
+schedule-length column keeps that idealization visible instead of hiding it
+(DESIGN.md §13).  At ``cutoff=inf`` the sparse backend is bit-identical to
+dense; the differential suite pins that, this sweep prices the finite case.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import resource
+import time
+
+import numpy as np
+
+from repro.analysis.tables import TextTable
+from repro.experiments.common import ExperimentProfile, finish_obs, obs_for
+from repro.routing import build_routing_forest, planned_gateways
+from repro.routing.forest import build_routing_forest_csr
+from repro.scheduling.links import forest_link_set
+from repro.phy.sparse import sparse_gain_model
+from repro.topology.commgraph import communication_csr
+from repro.topology.network import grid_network
+from repro.traffic import (
+    EpochConfig,
+    PoissonArrivals,
+    centralized_scheduler,
+    run_epochs,
+)
+from repro.util.rng import spawn
+
+
+def _gateway_count(side: int, profile: ExperimentProfile) -> int:
+    """One gateway per ``stride x stride`` block, at least one."""
+    return max(1, side // profile.scale_gateway_stride) ** 2
+
+
+def _run_point(side: int, backend: str, profile: ExperimentProfile, obs=None) -> dict:
+    """Deploy, build the ``backend`` pipeline, and serve the epoch workload.
+
+    Returns the raw measurement dict (timings in seconds; ``rss_kib`` is
+    filled in by the subprocess wrapper, not here).  Each backend owns its
+    *whole* pipeline — communication graph and routing forest included —
+    because the sparse model's far-field floor tightens the standalone
+    feasibility screen (links the floorless dense graph keeps can be
+    infeasible under the floored oracle, and the scheduler rejects links
+    that cannot decode even alone).
+    """
+    network = grid_network(side, side, density_per_km2=profile.scale_density_per_km2)
+    n = network.n_nodes
+    gateways = planned_gateways(side, side, _gateway_count(side, profile))
+    forest_rng = spawn(profile.seed, "scale-forest", side)
+
+    t0 = time.perf_counter()
+    if backend == "sparse":
+        sgm = sparse_gain_model(
+            network.positions, network.tx_power_mw, network.propagation, network.radio
+        )
+        model = sgm.interference_model(network.radio)
+        indptr, indices = communication_csr(
+            sgm.power,
+            network.radio.noise_mw,
+            network.radio.beta,
+            budget_mw=sgm.floor_mw,
+        )
+        forest = build_routing_forest_csr(indptr, indices, gateways, rng=forest_rng)
+        nnz = sgm.power.nnz
+    elif backend == "dense":
+        model = network.model  # materializes the (n, n) power matrix
+        forest = build_routing_forest(network.comm_adj, gateways, rng=forest_rng)
+        nnz = n * n
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+    setup_s = time.perf_counter() - t0
+
+    links = forest_link_set(forest, np.zeros(n, dtype=np.int64))
+    generator = PoissonArrivals(
+        n,
+        profile.scale_arrival_rate / profile.scale_epoch_slots,
+        gateways=gateways,
+        seed=spawn(profile.seed, "scale-gen", side),
+    )
+    config = EpochConfig(
+        epoch_slots=profile.scale_epoch_slots,
+        n_epochs=profile.scale_epochs,
+        slot_seconds=profile.traffic_slot_seconds,
+        demand_cap=1,
+        retain_records="stream",
+    )
+    t0 = time.perf_counter()
+    trace = run_epochs(links, generator, centralized_scheduler(model), config, obs=obs)
+    engine_s = time.perf_counter() - t0
+
+    last = trace.last_record
+    return {
+        "side": side,
+        "n": n,
+        "backend": backend,
+        "nnz": int(nnz),
+        "setup_s": setup_s,
+        "engine_s": engine_s,
+        "sched_wall_s": trace.scheduling_wall_seconds,
+        "epochs": trace.n_epochs_run,
+        "schedule_len": last.schedule_length if last is not None else 0,
+        "arrivals": trace.arrivals_total,
+        "delivered": trace.delivered_total,
+    }
+
+
+def _child_point(side, backend, profile, conn) -> None:  # pragma: no cover - subprocess
+    """Subprocess body: run one point, ship the dict + peak RSS back."""
+    try:
+        result = _run_point(side, backend, profile)
+        result["rss_kib"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        conn.send(result)
+    except Exception as exc:
+        conn.send({"error": f"{type(exc).__name__}: {exc}"})
+    finally:
+        conn.close()
+
+
+def _child_baseline(conn) -> None:  # pragma: no cover - subprocess
+    """Subprocess body: peak RSS of interpreter + imports alone."""
+    try:
+        conn.send(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    finally:
+        conn.close()
+
+
+def _in_subprocess(target, args) -> object:
+    """Run ``target(*args, conn)`` in a spawned child; return what it sends.
+
+    ``spawn`` (not ``fork``) so the child's ``ru_maxrss`` starts from a
+    fresh interpreter instead of inheriting the parent's high-water mark.
+    """
+    ctx = mp.get_context("spawn")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=target, args=(*args, child_conn))
+    proc.start()
+    child_conn.close()
+    try:
+        result = parent_conn.recv()
+    except EOFError:
+        result = {"error": f"subprocess died with exitcode {proc.exitcode}"}
+    finally:
+        proc.join()
+        parent_conn.close()
+    if isinstance(result, dict) and "error" in result:
+        raise RuntimeError(f"scale point subprocess failed: {result['error']}")
+    return result
+
+
+def epoch_wall_s(point: dict) -> float:
+    """End-to-end per-epoch wall: (setup + engine) / epochs served.
+
+    The assertion metric of the sweep — it charges the pipeline *build*
+    (where the dense ``O(n^2)`` materialization lives) to the epochs it
+    serves, exactly what re-running the pipeline per reconfiguration costs.
+    """
+    return (point["setup_s"] + point["engine_s"]) / max(point["epochs"], 1)
+
+
+def scale_points(profile: ExperimentProfile) -> list[dict]:
+    """Run the full sweep; return one raw measurement dict per point.
+
+    Points run sequentially, each in its own spawned subprocess; ``rss_mib``
+    is the child's peak RSS minus the measured interpreter/import baseline
+    (clamped at 0).  When the profile has observability on, the smallest
+    sparse point is re-run in-parent with the instrument attached so the
+    sweep leaves a ``scale.jsonl`` run file like every other experiment —
+    RSS and timings still come from the uninstrumented subprocess runs.
+    """
+    baseline_kib = _in_subprocess(_child_baseline, ())
+    points: list[dict] = []
+    for side in sorted(profile.scale_grid_sides):
+        n = side * side
+        backends = ["sparse"]
+        if n <= profile.scale_dense_max_nodes:
+            backends.append("dense")
+        for backend in backends:
+            point = _in_subprocess(_child_point, (side, backend, profile))
+            point["rss_mib"] = max(point["rss_kib"] - baseline_kib, 0) / 1024.0
+            points.append(point)
+
+    obs = obs_for(profile, "scale")
+    if obs is not None:
+        smallest = min(p["side"] for p in points if p["backend"] == "sparse")
+        _run_point(smallest, "sparse", profile, obs=obs)
+        finish_obs(obs)
+    return points
+
+
+def scale_table(points: list[dict], profile: ExperimentProfile) -> TextTable:
+    """Render the sweep, with a dense/sparse ratio row per two-backend size."""
+    table = TextTable(
+        [
+            "nodes",
+            "backend",
+            "nnz",
+            "setup (s)",
+            "engine (s)",
+            "sched wall (s)",
+            "epoch wall (s)",
+            "peak RSS (MiB)",
+            "slots",
+            "delivered",
+        ],
+        title="Sparse interference at scale — grid deployments at density "
+        f"{profile.scale_density_per_km2:g}/km^2, "
+        f"{profile.scale_epochs} epochs x {profile.scale_epoch_slots} slots, "
+        f"{profile.scale_arrival_rate:g} pkt/node/epoch, dense baseline up to "
+        f"{profile.scale_dense_max_nodes} nodes "
+        "(epoch wall = (setup + engine) / epochs)",
+    )
+    by_side: dict[int, dict[str, dict]] = {}
+    for point in points:
+        by_side.setdefault(point["side"], {})[point["backend"]] = point
+    for side in sorted(by_side):
+        group = by_side[side]
+        for backend in ("dense", "sparse"):
+            point = group.get(backend)
+            if point is None:
+                continue
+            table.add_row(
+                str(point["n"]),
+                backend,
+                str(point["nnz"]),
+                f"{point['setup_s']:.2f}",
+                f"{point['engine_s']:.2f}",
+                f"{point['sched_wall_s']:.2f}",
+                f"{epoch_wall_s(point):.2f}",
+                f"{point['rss_mib']:.0f}",
+                str(point["schedule_len"]),
+                str(point["delivered"]),
+            )
+        if "dense" in group and "sparse" in group:
+            dense, sparse = group["dense"], group["sparse"]
+            wall_ratio = epoch_wall_s(dense) / max(epoch_wall_s(sparse), 1e-9)
+            rss_ratio = dense["rss_mib"] / max(sparse["rss_mib"], 1e-9)
+            table.add_row(
+                str(dense["n"]),
+                "dense/sparse",
+                f"{dense['nnz'] / max(sparse['nnz'], 1):.1f}x",
+                "-",
+                "-",
+                "-",
+                f"{wall_ratio:.1f}x",
+                f"{rss_ratio:.1f}x",
+                "-",
+                "-",
+            )
+    return table
+
+
+#: Columns masked in the persisted benchmark snapshot: wall-clock and RSS
+#: cells (and the ratio rows that live in those columns) are host facts,
+#: not science facts.
+VOLATILE_COLUMNS = (
+    "setup (s)",
+    "engine (s)",
+    "sched wall (s)",
+    "epoch wall (s)",
+    "peak RSS (MiB)",
+)
+
+
+def scale_experiment(profile: ExperimentProfile) -> TextTable:
+    """E13: the sparse-vs-dense scaling sweep (see module docstring)."""
+    return scale_table(scale_points(profile), profile)

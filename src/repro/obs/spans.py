@@ -9,7 +9,7 @@ double counting.
 Closed spans flow into a :class:`Recorder`.  The contract the differential
 tests enforce: a recorder *observes* — it never mutates engine state, never
 consumes engine RNG, and the :class:`NullRecorder` path is cheap enough
-that tier-1 guards pin it under 2% of wall-clock on a reference run.
+that tier-1 guards pin it under 5% of thread-CPU time on a reference run.
 Engines obtain spans via :func:`repro.obs.phase`, which returns a shared
 no-op object when observability is off entirely — the off path allocates
 nothing per call.

@@ -20,6 +20,15 @@ from repro.phy.interference import (
     PhysicalInterferenceModel,
     link_feasible_alone,
 )
+from repro.phy.spatial import GridIndex
+from repro.phy.sparse import (
+    SparsePowerMatrix,
+    SparseGainModel,
+    build_sparse_power,
+    far_field_floor_mw,
+    interference_radius_m,
+    sparse_gain_model,
+)
 
 __all__ = [
     "dbm_to_mw",
@@ -39,4 +48,11 @@ __all__ = [
     "rates_for_links",
     "PhysicalInterferenceModel",
     "link_feasible_alone",
+    "GridIndex",
+    "SparsePowerMatrix",
+    "SparseGainModel",
+    "build_sparse_power",
+    "far_field_floor_mw",
+    "interference_radius_m",
+    "sparse_gain_model",
 ]

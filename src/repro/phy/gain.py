@@ -4,6 +4,16 @@ These matrices are the central physical object in the reproduction: entry
 ``P[i, j]`` of the received-power matrix is the power (mW) that node ``j``
 collects when node ``i`` transmits at its configured power.  Every SINR
 computation, carrier-sense test, and graph construction reads from them.
+
+Two scaling controls, both opt-in and default-neutral:
+
+* ``dtype=np.float32`` halves the dense footprint for mid-size sweeps that
+  don't need the sparse path (verdict-identity on the reference grid is
+  pinned by the unit suite — float32 mantissas dwarf the SINR margins
+  there, but it is an approximation and stays opt-in);
+* distance-law matrices are assembled in row blocks, so the transient
+  ``(n, n, 2)`` delta tensor (3× the matrix itself) never materializes —
+  peak memory is the output plus one thin block.
 """
 
 from __future__ import annotations
@@ -12,17 +22,37 @@ import numpy as np
 
 from repro.phy.propagation import PropagationModel
 
+#: Rows per block when assembling large matrices; bounds the transient
+#: delta tensor to ``_BLOCK_ROWS * n * 2`` floats regardless of ``n``.
+_BLOCK_ROWS = 2048
 
-def distance_matrix(positions: np.ndarray) -> np.ndarray:
-    """Euclidean distance matrix from an ``(n, 2)`` position array."""
+
+def distance_matrix(
+    positions: np.ndarray, dtype: np.dtype | type = np.float64
+) -> np.ndarray:
+    """Euclidean distance matrix from an ``(n, 2)`` position array.
+
+    Distances are always computed in float64 and rounded once into
+    ``dtype`` on store, so a float32 matrix is the rounding of the exact
+    one, not the result of accumulating error in float32 arithmetic.
+    """
     pos = np.asarray(positions, dtype=float)
     if pos.ndim != 2 or pos.shape[1] != 2:
         raise ValueError(f"positions must have shape (n, 2), got {pos.shape}")
-    deltas = pos[:, None, :] - pos[None, :, :]
-    return np.sqrt((deltas**2).sum(axis=2))
+    n = pos.shape[0]
+    out = np.empty((n, n), dtype=dtype)
+    for lo in range(0, n, _BLOCK_ROWS):
+        hi = min(lo + _BLOCK_ROWS, n)
+        deltas = pos[lo:hi, None, :] - pos[None, :, :]
+        out[lo:hi] = np.sqrt((deltas**2).sum(axis=2))
+    return out
 
 
-def gain_matrix(positions: np.ndarray, model: PropagationModel) -> np.ndarray:
+def gain_matrix(
+    positions: np.ndarray,
+    model: PropagationModel,
+    dtype: np.dtype | type = np.float64,
+) -> np.ndarray:
     """Channel power-gain matrix ``G[i, j]`` for all node pairs.
 
     Models carrying per-pair state (frozen shadowing, replayed archives)
@@ -31,17 +61,28 @@ def gain_matrix(positions: np.ndarray, model: PropagationModel) -> np.ndarray:
     zero distance) clamps to the reference gain and is never used for
     communication.
     """
-    dmat = distance_matrix(positions)
+    pos = np.asarray(positions, dtype=float)
+    if pos.ndim != 2 or pos.shape[1] != 2:
+        raise ValueError(f"positions must have shape (n, 2), got {pos.shape}")
     pair_gain = getattr(model, "pair_gain", None)
     if pair_gain is not None:
-        return pair_gain(dmat)
-    return model.gain(dmat)
+        # Per-pair state is identified by the full index grid; evaluate
+        # dense and round once into the requested storage dtype.
+        return np.asarray(pair_gain(distance_matrix(pos)), dtype=dtype)
+    n = pos.shape[0]
+    out = np.empty((n, n), dtype=dtype)
+    for lo in range(0, n, _BLOCK_ROWS):
+        hi = min(lo + _BLOCK_ROWS, n)
+        deltas = pos[lo:hi, None, :] - pos[None, :, :]
+        out[lo:hi] = model.gain(np.sqrt((deltas**2).sum(axis=2)))
+    return out
 
 
 def received_power_matrix(
     positions: np.ndarray,
     tx_power_mw: np.ndarray,
     model: PropagationModel,
+    dtype: np.dtype | type = np.float64,
 ) -> np.ndarray:
     """Received-power matrix ``P[i, j] = tx_power[i] * gain(i, j)`` in mW."""
     tx = np.asarray(tx_power_mw, dtype=float)
@@ -53,4 +94,6 @@ def received_power_matrix(
         )
     if np.any(tx <= 0):
         raise ValueError("transmit powers must be strictly positive")
-    return tx[:, None] * gain_matrix(pos, model)
+    out = gain_matrix(pos, model, dtype=dtype)
+    out *= tx[:, None]  # in place: gain_matrix's return is ours to reuse
+    return out

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.phy.radio import RadioConfig
-from repro.phy.sinr import sinr_for_links, sinr_with_candidates
+from repro.phy.sinr import carrier_sense_power, sinr_for_links, sinr_with_candidates
 
 
 @dataclass(frozen=True)
@@ -52,10 +52,15 @@ class PhysicalInterferenceModel:
     budget_mw: np.ndarray | None = None
 
     def __post_init__(self) -> None:
-        p = np.asarray(self.power, dtype=float)
+        if getattr(self.power, "is_sparse_power", False):
+            # A SparsePowerMatrix already validated itself and must not be
+            # densified; it duck-types every access the kernels perform.
+            p = self.power
+        else:
+            p = np.asarray(self.power, dtype=float)
+            object.__setattr__(self, "power", p)
         if p.ndim != 2 or p.shape[0] != p.shape[1]:
             raise ValueError(f"power matrix must be square, got shape {p.shape}")
-        object.__setattr__(self, "power", p)
         if self.budget_mw is not None:
             b = np.asarray(self.budget_mw, dtype=float)
             if b.shape != (p.shape[0],):
@@ -71,18 +76,25 @@ class PhysicalInterferenceModel:
         return self.power.shape[0]
 
     def with_budget(self, budget_mw: np.ndarray | None) -> "PhysicalInterferenceModel":
-        """The same oracle with a per-node far-field noise budget installed.
+        """This oracle with an extra per-node noise budget *added*.
 
-        An all-zero (or ``None``) budget returns ``self`` unchanged, so the
-        degenerate single-shard partition schedules through the *identical*
-        model object — the bit-for-bit guarantee behind the sharded engine's
-        ``n_shards=1`` equivalence harness.
+        Budgets compose additively: when the oracle already carries one
+        (the sparse backend's far-field floor), the new budget stacks on
+        top rather than replacing it, so shard guard margins and far-field
+        floors coexist — both are "extra noise at the receiving node" and
+        mW is a linear scale.  An all-zero (or ``None``) budget returns
+        ``self`` unchanged, so the degenerate single-shard partition
+        schedules through the *identical* model object — the bit-for-bit
+        guarantee behind the sharded engine's ``n_shards=1`` equivalence
+        harness.
         """
         if budget_mw is None:
             return self
         b = np.asarray(budget_mw, dtype=float)
         if not b.any():
             return self
+        if self.budget_mw is not None:
+            b = self.budget_mw + b
         return PhysicalInterferenceModel(self.power, self.radio, b)
 
     def link_sinrs(
@@ -248,7 +260,7 @@ class PhysicalInterferenceModel:
         tx = np.asarray(transmitters, dtype=np.intp)
         total = np.zeros(self.n_nodes, dtype=float)
         if tx.size:
-            total = self.power[tx, :].sum(axis=0)
+            total = carrier_sense_power(self.power, tx, self.n_nodes)
             total[tx] = np.inf  # own transmission always "sensed"
         return total >= self.radio.cs_threshold_mw
 

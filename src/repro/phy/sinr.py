@@ -11,6 +11,14 @@ from __future__ import annotations
 import numpy as np
 
 
+def _sparse_fast(power) -> bool:
+    """Route to the scatter-add kernels? True only for genuinely sparse
+    matrices — a value-dense (``cutoff=inf``) sparse matrix must go through
+    the exact mesh path so its floating-point summation *order*, not just
+    its values, reproduces the dense pipeline bit-for-bit."""
+    return bool(getattr(power, "is_sparse_power", False)) and not power.value_dense
+
+
 def sinr_for_links(
     power: np.ndarray,
     senders: np.ndarray,
@@ -71,6 +79,21 @@ def sinr_for_links(
         # budgets are built (PhysicalInterferenceModel.__post_init__), not
         # re-scanned here — this function sits inside every handshake.
         noise = noise_mw + budget[rcv]
+
+    if _sparse_fast(power):
+        # Near-field path: total power landing on each receiver is a
+        # scatter-add over the senders' stored (near) entries —
+        # O(sum of sender neighborhoods) instead of the L x L mesh.
+        # Only taken for genuinely sparse matrices: the value-dense
+        # (cutoff=inf) case keeps the mesh below so its pairwise summation
+        # order — hence every bit of the result — matches the dense model.
+        signal = np.asarray(power[snd, rcv], dtype=float)
+        interference = power.column_sums(snd)[rcv] - signal
+        sinr = signal / (noise + interference)
+        transmitting = np.zeros(power.shape[0], dtype=bool)
+        transmitting[snd] = True
+        sinr[transmitting[rcv]] = 0.0
+        return sinr
 
     # incident[i, k]: power received at receiver of link k from sender of link i.
     incident = power[np.ix_(snd, rcv)]
@@ -137,17 +160,31 @@ def sinr_with_candidates(
     transmitting = np.zeros(power.shape[0], dtype=bool)
     transmitting[snd] = True
 
+    fast = _sparse_fast(power) and snd.size > 0
+    totals = power.column_sums(snd) if fast else None
+
     # Candidate SINR: signal over members' aggregate interference.
-    cand_signal = power[cs, cr].astype(float, copy=True)
-    if snd.size:
+    cand_signal = np.asarray(power[cs, cr], dtype=float).copy()
+    if fast:
+        cand_interf = totals[cr]
+    elif snd.size:
         cand_interf = power[np.ix_(snd, cr)].sum(axis=0)
     else:
         cand_interf = np.zeros(cs.shape[0], dtype=float)
     cand_sinr = cand_signal / (cand_noise + cand_interf)
     cand_sinr[transmitting[cr] | (cr == cs)] = 0.0
 
-    # Member SINRs: base interference plus the candidate's contribution.
-    if snd.size:
+    # Member SINRs: base interference plus the candidate's contribution
+    # (the candidate cross term is genuinely per-pair — no aggregate
+    # shortcut — so the mesh stays in both paths).
+    if fast:
+        signal = np.asarray(power[snd, rcv], dtype=float)
+        base_interf = totals[rcv] - signal
+        member_interf = base_interf[None, :] + power[np.ix_(cs, rcv)]
+        member_sinr = signal[None, :] / (member_noise + member_interf)
+        deaf = transmitting[rcv][None, :] | (rcv[None, :] == cs[:, None])
+        member_sinr[deaf] = 0.0
+    elif snd.size:
         incident = power[np.ix_(snd, rcv)]
         signal = np.diagonal(incident).astype(float, copy=True)
         base_interf = incident.sum(axis=0) - signal
@@ -218,4 +255,6 @@ def carrier_sense_power(
     tx = np.asarray(transmitters, dtype=np.intp)
     if tx.size == 0:
         return np.zeros(n_nodes, dtype=float)
+    if _sparse_fast(power):
+        return power.column_sums(tx)
     return power[tx, :].sum(axis=0)

@@ -157,3 +157,54 @@ def build_routing_forest(
         candidates = np.flatnonzero(adj[v] & (depth == depth[v] - 1))
         parent[v] = int(generator.choice(candidates))
     return RoutingForest(parent=parent, depth=depth, gateways=np.sort(gws))
+
+
+def build_routing_forest_csr(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    gateways: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+) -> RoutingForest:
+    """:func:`build_routing_forest` over a CSR adjacency — without the dense
+    matrix, with the *identical* random forest.
+
+    Neighbor lists come sorted from
+    :func:`~repro.topology.commgraph.communication_csr`, so each node's
+    parent-candidate array matches the dense ``np.flatnonzero`` order, and
+    nodes are visited in the same ascending order: the RNG stream is
+    consumed identically and the two builders return equal forests for
+    equal graphs (pinned by the unit suite).
+    """
+    n = indptr.shape[0] - 1
+    gws = np.asarray(gateways, dtype=np.intp)
+    if gws.size == 0:
+        raise ValueError("at least one gateway is required")
+    if np.unique(gws).size != gws.size:
+        raise ValueError("gateway indices must be distinct")
+    if np.any((gws < 0) | (gws >= n)):
+        raise IndexError("gateway index out of range")
+    generator = ensure_rng(rng)
+
+    depth = np.full(n, -1, dtype=np.intp)
+    depth[gws] = 0
+    frontier = np.unique(gws)
+    level = 0
+    while frontier.size:
+        spans = [indices[indptr[v] : indptr[v + 1]] for v in frontier]
+        reached = np.unique(np.concatenate(spans)) if spans else frontier[:0]
+        reached = reached[depth[reached] < 0]
+        level += 1
+        depth[reached] = level
+        frontier = reached
+    if np.any(depth < 0):
+        unreachable = np.flatnonzero(depth < 0).tolist()
+        raise ValueError(f"nodes {unreachable} cannot reach any gateway")
+
+    parent = np.full(n, -1, dtype=np.intp)
+    for v in range(n):
+        if depth[v] == 0:
+            continue
+        neigh = indices[indptr[v] : indptr[v + 1]]
+        candidates = neigh[depth[neigh] == depth[v] - 1]
+        parent[v] = int(generator.choice(candidates))
+    return RoutingForest(parent=parent, depth=depth, gateways=np.sort(gws))

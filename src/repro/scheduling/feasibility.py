@@ -13,6 +13,8 @@ matrix per test.
 
 from __future__ import annotations
 
+from itertools import chain
+
 import numpy as np
 
 from repro.phy.interference import PhysicalInterferenceModel
@@ -272,6 +274,264 @@ def slots_can_add(
     member_bad = np.bincount(slot_id, weights=bad, minlength=n) > 0
 
     return cand_ok & ~shared_per_slot & ~member_bad
+
+
+class SlotArena:
+    """All slots of a schedule under construction, in flat numpy columns.
+
+    :func:`slots_can_add` is bit-exact but rebuilds its concatenated member
+    arrays from Python lists on *every* call — an O(total members) tax that
+    caps the sparse backend's win, since the rebuild dominates once the
+    arithmetic is pruned.  The arena keeps the same five columns
+    (``slot_id``, member sender/receiver, data/ACK interference sums)
+    persistently, appended in admission order with capacity doubling, so a
+    batched admission test touches no Python-level per-member work.
+
+    Two test paths, one verdict:
+
+    * dense — the exact :func:`slots_can_add` formula over all member rows
+      (same bincount segment sums, same order, bit-identical);
+    * sparse (auto-selected when the model's power is a
+      :class:`~repro.phy.sparse.SparsePowerMatrix`) — member rows are first
+      pruned to those with a stored (near-field) interaction with the
+      candidate, via per-node postings.  Pruned rows contribute *exactly*
+      ``0.0`` to every sum and — because every admitted member is feasible
+      at admission time and additions only recheck — can never flip a
+      member-bad or shared-node predicate, so the pruned verdict is
+      bit-identical to the dense one.  That member-feasibility invariant
+      holds for every arena by construction: the only unconditional insert,
+      :meth:`open_slot`'s first member, is screened standalone by the
+      greedy caller.
+
+    All powers in mW; thresholds from the bound interference model, exactly
+    as :class:`SlotState`.
+    """
+
+    def __init__(self, model: PhysicalInterferenceModel, capacity: int = 256):
+        self._model = model
+        self._power = model.power
+        self._noise = model.radio.noise_mw
+        self._beta = model.radio.beta
+        self._budget = model.budget_mw
+        self._use_sparse = bool(getattr(model.power, "is_sparse_power", False))
+        cap = max(int(capacity), 1)
+        self._slot_id = np.empty(cap, dtype=np.intp)
+        self._msnd = np.empty(cap, dtype=np.intp)
+        self._mrcv = np.empty(cap, dtype=np.intp)
+        self._di = np.empty(cap, dtype=float)
+        self._ai = np.empty(cap, dtype=float)
+        self._m = 0
+        self.n_slots = 0
+        self._slot_rows: list[list[int]] = []
+        # Sparse pruning structure: node -> rows where it is an endpoint,
+        # plus a reusable row-dedup scratch (False outside _near_rows).
+        self._postings: dict[int, list[int]] = {}
+        self._row_seen = np.zeros(cap, dtype=bool)
+
+    def __len__(self) -> int:
+        return self.n_slots
+
+    @property
+    def n_members(self) -> int:
+        return self._m
+
+    def members(self, slot: int) -> tuple[np.ndarray, np.ndarray]:
+        """(senders, receivers) of one slot, in admission order."""
+        rows = np.asarray(self._slot_rows[slot], dtype=np.intp)
+        return self._msnd[rows], self._mrcv[rows]
+
+    def _ensure_capacity(self) -> None:
+        if self._m < self._slot_id.size:
+            return
+        cap = self._slot_id.size * 2
+        for name in ("_slot_id", "_msnd", "_mrcv", "_di", "_ai"):
+            old = getattr(self, name)
+            new = np.empty(cap, dtype=old.dtype)
+            new[: self._m] = old[: self._m]
+            setattr(self, name, new)
+        self._row_seen = np.zeros(cap, dtype=bool)
+
+    def open_slot(self, sender: int, receiver: int) -> int:
+        """Append a fresh slot seeded with one member; return its index.
+
+        The insert is unconditional — callers screen the link standalone
+        first (greedy does, batched), which is what keeps the
+        member-feasibility invariant the sparse pruning relies on.
+        """
+        j = self.n_slots
+        self.n_slots += 1
+        self._slot_rows.append([])
+        self.add(j, sender, receiver)
+        return j
+
+    def add(self, slot: int, sender: int, receiver: int) -> None:
+        """Admit the link to a slot unconditionally (caller pre-approved).
+
+        Mirrors :meth:`SlotState.add` bit-for-bit: existing members' sums
+        grow element-wise by the newcomer's contribution, and the
+        newcomer's own sums accumulate over members in admission order
+        (single-bucket ``bincount`` — C-loop sequential, the same order the
+        scalar loop adds in).
+        """
+        p = self._power
+        rows = self._slot_rows[slot]
+        if rows:
+            r = np.asarray(rows, dtype=np.intp)
+            ms = self._msnd[r]
+            mr = self._mrcv[r]
+            # One fused gather for all four member/newcomer power reads —
+            # a pure gather, so splitting it differently never changes a
+            # value, and the bincount sums below keep their exact order.
+            k = r.size
+            grows = np.empty(4 * k, dtype=np.intp)
+            gcols = np.empty(4 * k, dtype=np.intp)
+            grows[:k] = sender
+            gcols[:k] = mr
+            grows[k : 2 * k] = receiver
+            gcols[k : 2 * k] = ms
+            grows[2 * k : 3 * k] = ms
+            gcols[2 * k : 3 * k] = receiver
+            grows[3 * k :] = mr
+            gcols[3 * k :] = sender
+            vals = p[grows, gcols]
+            self._di[r] += vals[:k]
+            self._ai[r] += vals[k : 2 * k]
+            zero = np.zeros(k, dtype=np.intp)
+            new_di = float(
+                np.bincount(zero, weights=vals[2 * k : 3 * k], minlength=1)[0]
+            )
+            new_ai = float(np.bincount(zero, weights=vals[3 * k :], minlength=1)[0])
+        else:
+            new_di = 0.0
+            new_ai = 0.0
+        self._ensure_capacity()
+        row = self._m
+        self._slot_id[row] = slot
+        self._msnd[row] = sender
+        self._mrcv[row] = receiver
+        self._di[row] = new_di
+        self._ai[row] = new_ai
+        self._m += 1
+        rows.append(row)
+        if self._use_sparse:
+            self._postings.setdefault(int(sender), []).append(row)
+            self._postings.setdefault(int(receiver), []).append(row)
+
+    def _near_rows(self, sender: int, receiver: int) -> np.ndarray:
+        """Member rows with a stored (near-field) interaction with the
+        candidate — every row the dense formula could read a nonzero power
+        for, plus any row sharing one of the candidate's endpoints (the
+        diagonal is stored, so endpoint nodes are their own neighbors and
+        their postings are always included).
+
+        Duplicate rows — the two neighbor lists overlap, and a row can have
+        both endpoints near — are deduplicated through a reusable boolean
+        scratch instead of ``np.unique``'s sort; the result is the same
+        ascending (admission-order) row array."""
+        post = self._postings
+        p = self._power
+        runs = []
+        for v in p.neighbors(sender).tolist():
+            r = post.get(v)
+            if r is not None:
+                runs.append(r)
+        for v in p.neighbors(receiver).tolist():
+            r = post.get(v)
+            if r is not None:
+                runs.append(r)
+        if not runs:
+            return np.empty(0, dtype=np.intp)
+        cand = np.fromiter(chain.from_iterable(runs), dtype=np.intp)
+        seen = self._row_seen
+        seen[cand] = True
+        rows = np.flatnonzero(seen[: self._m])
+        seen[cand] = False
+        return rows
+
+    def can_add_all(self, sender: int, receiver: int) -> np.ndarray:
+        """One candidate against every slot: ``out[j] == slot j can admit``.
+
+        Bit-identical to :func:`slots_can_add` over equivalent states —
+        the differential suite pins dense-vs-sparse and arena-vs-SlotState
+        agreement.
+        """
+        n = self.n_slots
+        out = np.zeros(n, dtype=bool)
+        if n == 0 or sender == receiver:
+            return out
+        p = self._power
+        noise = self._noise
+        beta = self._beta
+        budget = self._budget
+        data_noise = noise if budget is None else noise + budget[receiver]
+        ack_noise = noise if budget is None else noise + budget[sender]
+
+        if self._use_sparse:
+            rows = self._near_rows(sender, receiver)
+            sid = self._slot_id[rows]
+            msnd = self._msnd[rows]
+            mrcv = self._mrcv[rows]
+            di = self._di[rows]
+            ai = self._ai[rows]
+        else:
+            m = self._m
+            sid = self._slot_id[:m]
+            msnd = self._msnd[:m]
+            mrcv = self._mrcv[:m]
+            di = self._di[:m]
+            ai = self._ai[:m]
+
+        if sid.size == 0:
+            # No (near) members anywhere: every slot reduces to the
+            # standalone check, exactly as the zero segment sums would.
+            alone = not (
+                p[sender, receiver] < beta * data_noise
+                or p[receiver, sender] < beta * ack_noise
+            )
+            out[:] = alone
+            return out
+
+        shared = (msnd == sender) | (msnd == receiver) | (mrcv == sender) | (mrcv == receiver)
+        shared_per_slot = np.bincount(sid, weights=shared, minlength=n) > 0
+
+        # All six power reads — the candidate pair plus the four member
+        # cross terms — in one fused gather (a pure gather: grouping the
+        # lookups differently can never change a value, so the verdicts
+        # below stay bit-identical to the unfused formula).
+        k = sid.size
+        grows = np.empty(6 * k + 2, dtype=np.intp)
+        gcols = np.empty(6 * k + 2, dtype=np.intp)
+        grows[0] = sender
+        gcols[0] = receiver
+        grows[1] = receiver
+        gcols[1] = sender
+        seg = [slice(i * k + 2, (i + 1) * k + 2) for i in range(6)]
+        grows[seg[0]] = msnd
+        gcols[seg[0]] = receiver
+        grows[seg[1]] = mrcv
+        gcols[seg[1]] = sender
+        grows[seg[2]] = sender
+        gcols[seg[2]] = mrcv
+        grows[seg[3]] = receiver
+        gcols[seg[3]] = msnd
+        grows[seg[4]] = msnd
+        gcols[seg[4]] = mrcv
+        grows[seg[5]] = mrcv
+        gcols[seg[5]] = msnd
+        vals = p[grows, gcols]
+
+        new_data_interf = np.bincount(sid, weights=vals[seg[0]], minlength=n)
+        new_ack_interf = np.bincount(sid, weights=vals[seg[1]], minlength=n)
+        cand_ok = ~(vals[0] < beta * (data_noise + new_data_interf))
+        cand_ok &= ~(vals[1] < beta * (ack_noise + new_ack_interf))
+
+        member_data_noise = noise if budget is None else noise + budget[mrcv]
+        member_ack_noise = noise if budget is None else noise + budget[msnd]
+        bad = vals[seg[4]] < beta * (member_data_noise + (di + vals[seg[2]]))
+        bad |= vals[seg[5]] < beta * (member_ack_noise + (ai + vals[seg[3]]))
+        member_bad = np.bincount(sid, weights=bad, minlength=n) > 0
+
+        return cand_ok & ~shared_per_slot & ~member_bad
 
 
 def schedule_is_feasible(

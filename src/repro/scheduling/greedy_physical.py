@@ -16,7 +16,7 @@ from typing import Callable
 import numpy as np
 
 from repro.phy.interference import PhysicalInterferenceModel
-from repro.scheduling.feasibility import SlotState, slots_can_add
+from repro.scheduling.feasibility import SlotArena, SlotState
 from repro.scheduling.links import LinkSet
 from repro.scheduling.orderings import EDGE_ORDERINGS
 from repro.scheduling.schedule import Schedule, Slot
@@ -57,7 +57,11 @@ def greedy_physical(
     order = order_fn(links, model)
 
     schedule = Schedule(link_set=links)
-    states: list[SlotState] = []
+    # Flat-column slot store: same verdicts as a SlotState list driven
+    # through slots_can_add (bit-identical, pinned by the unit suite), but
+    # without the per-candidate member-array rebuild — and with near-field
+    # pruning when the model's power matrix is sparse.
+    arena = SlotArena(model)
 
     demanded = [int(k) for k in order if int(links.demand[int(k)]) > 0]
     if not demanded:
@@ -81,19 +85,17 @@ def greedy_physical(
         sender = int(links.heads[k])
         receiver = int(links.tails[k])
         # One batched admission pass over the existing slots: adding this
-        # link to slot j never changes slot j' (states are independent), so
+        # link to slot j never changes slot j' (slots are independent), so
         # the precomputed verdicts match the incremental slot-by-slot scan.
-        if states:
-            for j in np.flatnonzero(slots_can_add(states, sender, receiver)):
+        if arena.n_slots:
+            for j in np.flatnonzero(arena.can_add_all(sender, receiver)):
                 if remaining <= 0:
                     break
-                states[j].add(sender, receiver)
+                arena.add(int(j), sender, receiver)
                 schedule.slots[j].add(k)
                 remaining -= 1
         while remaining > 0:
-            state = SlotState(model)
-            state.add(sender, receiver)
-            states.append(state)
+            arena.open_slot(sender, receiver)
             slot = Slot()
             slot.add(k)
             schedule.slots.append(slot)

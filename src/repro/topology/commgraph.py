@@ -40,6 +40,89 @@ def communication_adjacency(
     return adjacency
 
 
+def communication_csr(
+    power,
+    noise_mw: float,
+    beta: float,
+    budget_mw: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR communication adjacency straight from sparse power storage.
+
+    The sparse-path equivalent of :func:`communication_adjacency`: an edge
+    ``(u, v)`` exists iff both directions decode against noise alone —
+    plus, when ``budget_mw`` is given (the sparse backend's far-field
+    floor), the per-receiving-node budget, so every returned edge passes
+    the floored model's standalone screen and GreedyPhysical never rejects
+    a forest edge.
+
+    ``power`` must be a :class:`~repro.phy.sparse.SparsePowerMatrix` whose
+    cutoff is at least the communication range — entries beyond the cutoff
+    read as zero and would silently drop edges otherwise (the default
+    carrier-sense cutoff is ~3× the communication range, comfortably safe).
+
+    Returns ``(indptr, indices)``: neighbors of node ``v`` are
+    ``indices[indptr[v]:indptr[v+1]]``, ascending — the same candidate
+    order a dense ``np.flatnonzero(adj[v])`` yields, which the forest
+    builder's RNG-stream equivalence relies on.
+    """
+    if not getattr(power, "is_sparse_power", False):
+        raise TypeError("communication_csr needs a SparsePowerMatrix")
+    if noise_mw <= 0 or beta <= 0:
+        raise ValueError("noise_mw and beta must be positive")
+    n = power.n
+    keys = power._keys
+    vals = power._vals
+    rows = (keys // n).astype(np.intp)
+    cols = (keys % n).astype(np.intp)
+    if budget_mw is None:
+        threshold = beta * noise_mw
+        qual = (vals >= threshold) & (rows != cols)
+    else:
+        b = np.asarray(budget_mw, dtype=float)
+        qual = (vals >= beta * (noise_mw + b[cols])) & (rows != cols)
+    qkeys = keys[qual]  # sorted: a subset of the sorted key array
+    qrows = rows[qual]
+    qcols = cols[qual]
+    if qkeys.size == 0:
+        return np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.intp)
+    rev = qcols.astype(np.int64) * n + qrows
+    pos = np.searchsorted(qkeys, rev)
+    np.clip(pos, 0, qkeys.size - 1, out=pos)
+    mutual = qkeys[pos] == rev
+    erows = qrows[mutual]
+    ecols = qcols[mutual]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(erows, minlength=n), out=indptr[1:])
+    return indptr, ecols
+
+
+def csr_neighbors_of(
+    indptr: np.ndarray, indices: np.ndarray, nodes: np.ndarray
+) -> np.ndarray:
+    """Unique neighbors (ascending) of a node set in a CSR adjacency."""
+    f = np.asarray(nodes, dtype=np.intp)
+    if f.size == 0:
+        return np.empty(0, dtype=np.intp)
+    spans = [indices[indptr[v] : indptr[v + 1]] for v in f]
+    return np.unique(np.concatenate(spans)) if spans else np.empty(0, dtype=np.intp)
+
+
+def is_connected_csr(indptr: np.ndarray, indices: np.ndarray) -> bool:
+    """Is the undirected CSR graph connected?  BFS from node 0."""
+    n = indptr.shape[0] - 1
+    if n == 0:
+        return True
+    visited = np.zeros(n, dtype=bool)
+    visited[0] = True
+    frontier = np.asarray([0], dtype=np.intp)
+    while frontier.size:
+        reached = csr_neighbors_of(indptr, indices, frontier)
+        new = reached[~visited[reached]]
+        visited[new] = True
+        frontier = new
+    return bool(visited.all())
+
+
 def is_connected(adjacency: np.ndarray) -> bool:
     """Is the (undirected) graph connected?  BFS from node 0."""
     adj = np.asarray(adjacency, dtype=bool)

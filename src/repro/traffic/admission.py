@@ -453,6 +453,12 @@ class RegionalControllers(AdmissionController):
     The regional :meth:`observe` hands sub-controllers a regional view of
     the record rather than the record itself, so cap logic written against
     global signals works unchanged per region.
+
+    Composes with ``ObsConfig.stream_deliveries``: when the queues feed a
+    region-classified :class:`~repro.obs.DeliveryStream` instead of the
+    full delivery log, per-region delivered counts are differenced from
+    the stream's per-class aggregates (see :meth:`_delivered_deltas`) —
+    same numbers, O(1) memory.
     """
 
     name = "regional"
@@ -479,6 +485,9 @@ class RegionalControllers(AdmissionController):
         # attributes only the epoch's *new* served/delivered work.
         self._delivered_seen = 0
         self._served_seen = np.zeros(len(self.regional), dtype=np.int64)
+        # Streaming-mode cursors: per-region delivered counts last read from
+        # the DeliveryStream's per-class aggregates.
+        self._delivered_seen_stream = np.zeros(len(self.regional), dtype=np.int64)
 
     def fresh(self) -> "RegionalControllers":
         return RegionalControllers(self.plan, self.factory)
@@ -504,15 +513,49 @@ class RegionalControllers(AdmissionController):
             flow, _RegionalSession(session, self, region)
         )
 
-    def observe(self, record, queues: LinkQueues, session: FlowWorkload) -> None:
-        if queues.delivery_stream is not None:
-            # Streaming-deliveries mode drops the per-delivery source log
-            # this attribution depends on; silently reading an empty tail
-            # would freeze every regional controller at zero deliveries.
-            raise RuntimeError(
-                "RegionalControllers requires the full delivery log; "
-                "run without ObsConfig.stream_deliveries"
+    def _delivered_deltas(self, queues: LinkQueues) -> np.ndarray:
+        """This epoch's per-region delivered counts.
+
+        Full-log mode splits the new tail of the source-tagged delivery log
+        by region.  Streaming mode (``ObsConfig.stream_deliveries``) has no
+        log; instead the :class:`~repro.obs.DeliveryStream`'s per-class
+        aggregates are differenced against per-region cursors — the sharded
+        engine classifies deliveries as ``"shard{index}"``, exactly the
+        plan's shard indices, so the per-class counts *are* the cumulative
+        per-region delivered totals.  A stream without a classifier cannot
+        be attributed and still fails loudly.
+        """
+        n_regions = len(self.regional)
+        stream = queues.delivery_stream
+        if stream is not None:
+            if stream.classify is None:
+                raise RuntimeError(
+                    "RegionalControllers under stream_deliveries needs a "
+                    "region-classified DeliveryStream (the sharded engine "
+                    "installs one); an unclassified stream keeps no "
+                    "per-region aggregates to attribute deliveries from"
+                )
+            counts = np.zeros(n_regions, dtype=np.int64)
+            for shard in self.plan.shards:
+                hist = stream.by_class.get(f"shard{shard.index}")
+                if hist is not None:
+                    counts[shard.index] = hist.count
+            delivered = counts - self._delivered_seen_stream
+            self._delivered_seen_stream = counts
+            return delivered
+        # Exact delivered attribution: the queues tag every delivery with
+        # its entry link, so the new tail of the delivery log splits by the
+        # region that admitted the injecting flow (no emission-share proxy).
+        new_sources = queues.sources[self._delivered_seen :]
+        self._delivered_seen = len(queues.sources)
+        if new_sources:
+            return np.bincount(
+                self._shard_of_link[np.asarray(new_sources, dtype=np.intp)],
+                minlength=n_regions,
             )
+        return np.zeros(n_regions, dtype=np.int64)
+
+    def observe(self, record, queues: LinkQueues, session: FlowWorkload) -> None:
         backlog = queues.backlog
         n_regions = len(self.regional)
         emitted = np.zeros(n_regions, dtype=np.int64)
@@ -520,18 +563,7 @@ class RegionalControllers(AdmissionController):
             k = self._by_head.get(int(node))
             if k is not None:
                 emitted[self._shard_of_link[k]] += count
-        # Exact delivered attribution: the queues tag every delivery with
-        # its entry link, so the new tail of the delivery log splits by the
-        # region that admitted the injecting flow (no emission-share proxy).
-        new_sources = queues.sources[self._delivered_seen :]
-        self._delivered_seen = len(queues.sources)
-        if new_sources:
-            delivered = np.bincount(
-                self._shard_of_link[np.asarray(new_sources, dtype=np.intp)],
-                minlength=n_regions,
-            )
-        else:
-            delivered = np.zeros(n_regions, dtype=np.int64)
+        delivered = self._delivered_deltas(queues)
         # Exact served attribution: difference the per-link served counters
         # over each region's own links.
         served_cum = np.array(

@@ -117,6 +117,15 @@ class EpochConfig:
         be passed to the run.  ``None`` (the default) and the degenerate
         single-tier table are both bit-identical to the seed fixed-rate
         behaviour (the multirate differential suite pins the latter).
+    retain_records:
+        ``"full"`` (the default) keeps every :class:`EpochRecord` on the
+        trace; ``"stream"`` keeps only O(1) running aggregates plus the
+        latest record — the ``stream_deliveries`` memory trade (PR 6)
+        applied to the record list itself, so a million-epoch run has
+        bounded RSS.  Aggregate properties (totals, cache rates, the
+        divergence guard) read identically in both modes;
+        :meth:`TrafficTrace.backlog_series` needs the full list and fails
+        loudly in streaming mode.
     """
 
     epoch_slots: int = 300
@@ -128,6 +137,7 @@ class EpochConfig:
     drift_threshold: float | None = None  # None -> DEFAULT_DRIFT_THRESHOLD
     drift_metric: str = "l1"
     rate_table: RateTable | None = None
+    retain_records: str = "full"
 
     def __post_init__(self) -> None:
         if self.epoch_slots <= 0:
@@ -160,6 +170,11 @@ class EpochConfig:
             raise ValueError(
                 f"drift_metric must be one of {sorted(DRIFT_METRICS)}, "
                 f"got {self.drift_metric!r}"
+            )
+        if self.retain_records not in ("full", "stream"):
+            raise ValueError(
+                f"retain_records must be 'full' or 'stream', "
+                f"got {self.retain_records!r}"
             )
 
 
@@ -227,10 +242,60 @@ class TrafficTrace:
     #: In-band control-plane account of the run, or ``None`` when the
     #: engine ran unpriced (no ``control=`` model given).
     ledger: ControlLedger | None = None
+    # O(1) running aggregates, maintained by :meth:`book`.  In streaming
+    # mode (``config.retain_records == "stream"``) they are the *only*
+    # account of the run; in full mode the properties below keep reading
+    # the record list, so traces assembled by hand (tests, adapters that
+    # append to ``records`` directly) behave exactly as before.
+    _n_booked: int = field(default=0, repr=False)
+    _arrivals: int = field(default=0, repr=False)
+    _delivered: int = field(default=0, repr=False)
+    _overhead_slots: int = field(default=0, repr=False)
+    _control_slots: int = field(default=0, repr=False)
+    _control_messages: int = field(default=0, repr=False)
+    _cache_hits: int = field(default=0, repr=False)
+    _patched: int = field(default=0, repr=False)
+    _requests: int = field(default=0, repr=False)
+    _reconciled: int = field(default=0, repr=False)
+    _last_record: EpochRecord | None = field(default=None, repr=False)
+
+    @property
+    def streaming(self) -> bool:
+        """True when the trace keeps aggregates instead of the record list."""
+        return self.config.retain_records == "stream"
+
+    def book(self, record: EpochRecord) -> EpochRecord:
+        """Account one epoch's record; the engines' single booking point.
+
+        Updates the O(1) aggregates and remembers the record as
+        :attr:`last_record`; appends to :attr:`records` only in full mode.
+        Returns the record for convenience.
+        """
+        self._n_booked += 1
+        self._arrivals += record.arrivals
+        self._delivered += record.delivered
+        self._overhead_slots += record.overhead_slots
+        self._control_slots += record.control_slots
+        self._control_messages += record.control_messages
+        self._cache_hits += 1 if record.cache_hit else 0
+        self._patched += 1 if record.patched else 0
+        self._requests += 1 if record.demand_scheduled > 0 else 0
+        self._reconciled += record.reconciled
+        self._last_record = record
+        if not self.streaming:
+            self.records.append(record)
+        return record
+
+    @property
+    def last_record(self) -> EpochRecord | None:
+        """The most recent epoch record, whatever the retention mode."""
+        if self._last_record is not None:
+            return self._last_record
+        return self.records[-1] if self.records else None
 
     @property
     def n_epochs_run(self) -> int:
-        return len(self.records)
+        return self._n_booked if self.streaming else len(self.records)
 
     @property
     def total_slots(self) -> int:
@@ -238,35 +303,49 @@ class TrafficTrace:
 
     @property
     def delivered_total(self) -> int:
+        if self.streaming:
+            return self._delivered
         return sum(r.delivered for r in self.records)
 
     @property
     def arrivals_total(self) -> int:
+        if self.streaming:
+            return self._arrivals
         return sum(r.arrivals for r in self.records)
 
     @property
     def overhead_slots_total(self) -> int:
         """Protocol overhead paid across the run, in data slots."""
+        if self.streaming:
+            return self._overhead_slots
         return sum(r.overhead_slots for r in self.records)
 
     @property
     def control_slots_total(self) -> int:
         """Data slots of overhead attributable to priced control messages."""
+        if self.streaming:
+            return self._control_slots
         return sum(r.control_slots for r in self.records)
 
     @property
     def control_messages_total(self) -> int:
         """Control messages booked across the run (counted even when free)."""
+        if self.streaming:
+            return self._control_messages
         return sum(r.control_messages for r in self.records)
 
     @property
     def cache_hits(self) -> int:
         """Epochs served from the schedule cache (reused verbatim)."""
+        if self.streaming:
+            return self._cache_hits
         return sum(1 for r in self.records if r.cache_hit)
 
     @property
     def patched_epochs(self) -> int:
         """Epochs served by a patched (locally repaired) schedule."""
+        if self.streaming:
+            return self._patched
         return sum(1 for r in self.records if r.patched)
 
     @property
@@ -278,7 +357,10 @@ class TrafficTrace:
         penalized for the epochs it asked nothing of the cache (matches
         :attr:`~repro.traffic.incremental.CacheStats.hit_rate`).
         """
-        requests = sum(1 for r in self.records if r.demand_scheduled > 0)
+        if self.streaming:
+            requests = self._requests
+        else:
+            requests = sum(1 for r in self.records if r.demand_scheduled > 0)
         if requests == 0:
             return 0.0
         return (self.cache_hits + self.patched_epochs) / requests
@@ -286,14 +368,23 @@ class TrafficTrace:
     @property
     def reconciled_total(self) -> int:
         """Memberships serialized by cross-shard reconciliation (0 monolithic)."""
+        if self.streaming:
+            return self._reconciled
         return sum(r.reconciled for r in self.records)
 
     def backlog_series(self) -> np.ndarray:
+        if self.streaming:
+            raise RuntimeError(
+                "backlog_series needs the full record list; this trace ran "
+                "with retain_records='stream' — use the aggregate properties "
+                "or last_record, or rerun with retain_records='full'"
+            )
         return np.asarray([r.backlog_end for r in self.records], dtype=np.int64)
 
     def summary(self) -> str:
         tail = " DIVERGED" if self.diverged else ""
-        backlog = self.records[-1].backlog_end if self.records else 0
+        last = self.last_record
+        backlog = last.backlog_end if last is not None else 0
         return (
             f"TrafficTrace(epochs={self.n_epochs_run}, "
             f"arrivals={self.arrivals_total}, delivered={self.delivered_total}, "
@@ -345,12 +436,13 @@ def trace_diverged(trace: TrafficTrace, config: EpochConfig) -> bool:
     the early-stop signature of an unstable operating point, shared by the
     monolithic and sharded loops.
     """
-    if config.divergence_factor is None or not trace.records:
+    last = trace.last_record
+    if config.divergence_factor is None or last is None:
         return False
     mean_arrivals = trace.arrivals_total / trace.n_epochs_run
     return (
         mean_arrivals > 0
-        and trace.records[-1].backlog_end > config.divergence_factor * mean_arrivals
+        and last.backlog_end > config.divergence_factor * mean_arrivals
     )
 
 
@@ -684,7 +776,7 @@ def run_epochs(
                 0.0, ledger, epoch, cfg
             )
 
-        trace.records.append(
+        record = trace.book(
             EpochRecord(
                 epoch=epoch,
                 arrivals=arrived,
@@ -703,9 +795,9 @@ def run_epochs(
                 ),
             )
         )
-        book_epoch_obs(obs, trace.records[-1], engine="epoch")
+        book_epoch_obs(obs, record, engine="epoch")
         if on_epoch is not None:
-            on_epoch(trace.records[-1], queues)
+            on_epoch(record, queues)
         if trace_diverged(trace, cfg):
             trace.diverged = True
             break

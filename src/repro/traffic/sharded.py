@@ -1087,7 +1087,7 @@ def run_epochs_sharded(
                     0.0, ledger, epoch, cfg
                 )
 
-            trace.records.append(
+            record = trace.book(
                 EpochRecord(
                     epoch=epoch,
                     arrivals=arrived,
@@ -1108,9 +1108,9 @@ def run_epochs_sharded(
                     reconciled=reconciled,
                 )
             )
-            book_epoch_obs(obs, trace.records[-1], engine="sharded")
+            book_epoch_obs(obs, record, engine="sharded")
             if on_epoch is not None:
-                on_epoch(trace.records[-1], queues)
+                on_epoch(record, queues)
             if trace_diverged(trace, cfg):
                 trace.diverged = True
                 break

@@ -153,11 +153,11 @@ def stability_margin(trace: TrafficTrace, tolerance: float = STABILITY_TOLERANCE
     """
     if trace.diverged:
         return float("inf")
-    if not trace.records:
+    if trace.last_record is None:
         return 0.0
     arrivals_per_epoch = trace.arrivals_total / trace.n_epochs_run
     slope_ratio = backlog_slope(trace) / max(tolerance * arrivals_per_epoch, 1.0)
-    gate_ratio = trace.records[-1].backlog_end / max(
+    gate_ratio = trace.last_record.backlog_end / max(
         BACKLOG_GATE_FRACTION * arrivals_per_epoch, 1.0
     )
     return min(slope_ratio, gate_ratio)
@@ -252,7 +252,7 @@ def summarize_trace(
         throughput=throughput,
         mean_delay=mean_delay,
         p99_delay=p99_delay,
-        backlog_final=trace.records[-1].backlog_end if trace.records else 0,
+        backlog_final=(trace.last_record.backlog_end if trace.last_record is not None else 0),
         backlog_slope=backlog_slope(trace),
         stable=is_stable(trace, tolerance),
         overhead_slots=trace.overhead_slots_total / epochs,
